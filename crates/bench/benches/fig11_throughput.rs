@@ -1,0 +1,37 @@
+//! Criterion benchmark behind Figure 11: the saturating-load cluster run
+//! (cutoff semantics), per algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsj_core::{Algorithm, ClusterConfig};
+use dsj_stream::gen::WorkloadKind;
+use std::hint::black_box;
+
+fn bench_saturated_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_saturated_run");
+    group.sample_size(10);
+    for algorithm in [Algorithm::Base, Algorithm::Dftt] {
+        group.bench_with_input(
+            BenchmarkId::new("zipf_n8_overload", algorithm.label()),
+            &algorithm,
+            |b, &alg| {
+                b.iter(|| {
+                    let report = ClusterConfig::new(8, alg)
+                        .window(512)
+                        .domain(1 << 10)
+                        .tuples(4_000)
+                        .workload(WorkloadKind::Zipf { alpha: 0.4 })
+                        .arrival_rate(1_200.0)
+                        .cutoff_grace(300)
+                        .seed(1)
+                        .run()
+                        .unwrap();
+                    black_box(report.throughput)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_saturated_runs);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benchmark behind Figures 5/6: DFT compression and
+//! reconstruction of the stock price stream at the paper's κ values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsj_dft::CompressedDft;
+use dsj_stream::gen::price_series;
+use std::hint::black_box;
+
+fn bench_compression(c: &mut Criterion) {
+    let series = price_series(1 << 15, 20_070_401, 500.0, 0.012);
+    let mut group = c.benchmark_group("fig5_compression");
+    group.sample_size(20);
+    for &kappa in &[64u32, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("compress", kappa), &kappa, |b, &k| {
+            b.iter(|| black_box(CompressedDft::from_signal(black_box(&series), k).unwrap()));
+        });
+        let compressed = CompressedDft::from_signal(&series, kappa).unwrap();
+        group.bench_with_input(BenchmarkId::new("reconstruct", kappa), &kappa, |b, _| {
+            b.iter(|| black_box(compressed.reconstruct_rounded()));
+        });
+        group.bench_with_input(BenchmarkId::new("mse", kappa), &kappa, |b, _| {
+            b.iter(|| black_box(compressed.mse(&series)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

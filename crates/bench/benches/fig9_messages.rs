@@ -1,0 +1,36 @@
+//! Criterion benchmark behind Figure 9: one full cluster experiment per
+//! algorithm (fixed operating point), measuring wall-clock cost of the
+//! distributed join simulation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsj_core::{Algorithm, ClusterConfig};
+use dsj_stream::gen::WorkloadKind;
+use std::hint::black_box;
+
+fn bench_cluster_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_cluster_run");
+    group.sample_size(10);
+    for algorithm in Algorithm::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("zipf_n8", algorithm.label()),
+            &algorithm,
+            |b, &alg| {
+                b.iter(|| {
+                    let report = ClusterConfig::new(8, alg)
+                        .window(256)
+                        .domain(1 << 10)
+                        .tuples(4_000)
+                        .workload(WorkloadKind::Zipf { alpha: 0.4 })
+                        .seed(1)
+                        .run()
+                        .unwrap();
+                    black_box(report.messages)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_runs);
+criterion_main!(benches);

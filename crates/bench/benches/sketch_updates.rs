@@ -1,0 +1,63 @@
+//! Criterion benchmark: classic AGMS vs Fast-AGMS update and estimation
+//! cost at equal summary sizes — the sketch-maintenance side of Table 1
+//! and the justification for the Fast-AGMS extension (DESIGN.md §7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsj_sketch::{AgmsSketch, FastAgmsSketch};
+use std::hint::black_box;
+
+fn bench_sketch_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_updates");
+    group.sample_size(20);
+    for &bytes in &[512usize, 4_096] {
+        group.throughput(Throughput::Elements(1_000));
+        group.bench_with_input(BenchmarkId::new("agms_1k", bytes), &bytes, |b, &bytes| {
+            let mut sk = AgmsSketch::with_size_bytes(bytes, 3);
+            let mut i = 0u64;
+            b.iter(|| {
+                for _ in 0..1_000 {
+                    i = i.wrapping_add(1);
+                    sk.update((i * 31) % 4_093, 1);
+                }
+                black_box(sk.updates())
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fast_agms_1k", bytes),
+            &bytes,
+            |b, &bytes| {
+                let mut sk = FastAgmsSketch::with_size_bytes(bytes, 3);
+                let mut i = 0u64;
+                b.iter(|| {
+                    for _ in 0..1_000 {
+                        i = i.wrapping_add(1);
+                        sk.update((i * 31) % 4_093, 1);
+                    }
+                    black_box(sk.updates())
+                });
+            },
+        );
+    }
+
+    // Estimation cost at a fixed size.
+    let mut a = AgmsSketch::with_size_bytes(4_096, 3);
+    let mut b2 = AgmsSketch::with_size_bytes(4_096, 3);
+    let mut fa = FastAgmsSketch::with_size_bytes(4_096, 3);
+    let mut fb = FastAgmsSketch::with_size_bytes(4_096, 3);
+    for v in 0..2_000u64 {
+        a.update(v, 1);
+        b2.update(v / 2, 1);
+        fa.update(v, 1);
+        fb.update(v / 2, 1);
+    }
+    group.bench_function("agms_join_size", |bch| {
+        bch.iter(|| black_box(a.join_size(&b2).unwrap()));
+    });
+    group.bench_function("fast_agms_join_size", |bch| {
+        bch.iter(|| black_box(fa.join_size(&fb).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch_updates);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmark behind Table 1: per-update cost of the three window
+//! summaries (full DFT recomputation vs incremental DFT vs AGMS sketch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsj_dft::sliding::SlidingDft;
+use dsj_dft::{ControlVector, Fft};
+use dsj_sketch::AgmsSketch;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for &w in &[1usize << 13, 1 << 15] {
+        let signal: Vec<f64> = (0..w).map(|n| ((n * 31) % 1009) as f64).collect();
+        let k = (w / 256).max(1);
+
+        // DFT: one full from-scratch transform of the window.
+        group.throughput(Throughput::Elements(w as u64));
+        group.bench_with_input(BenchmarkId::new("dft_full", w), &w, |b, _| {
+            let plan = Fft::new(w);
+            b.iter(|| black_box(plan.forward_real(black_box(&signal))));
+        });
+
+        // iDFT: 1000 incremental per-tuple updates of the κ=256 prefix.
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_input(BenchmarkId::new("idft_1k_updates", w), &w, |b, _| {
+            let mut sdft = SlidingDft::new(w, k, ControlVector::paper_default());
+            for &x in signal.iter().take(4 * k) {
+                sdft.push(x);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                for _ in 0..1000 {
+                    i = i.wrapping_add(1);
+                    sdft.push(((i * 37) % 997) as f64);
+                }
+                black_box(sdft.coefficients()[0])
+            });
+        });
+
+        // AGMS: 1000 per-tuple sketch updates at the same summary size.
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_input(BenchmarkId::new("agms_1k_updates", w), &w, |b, _| {
+            let mut sketch = AgmsSketch::with_size_bytes(k * 16, 7);
+            let mut i = 0u64;
+            b.iter(|| {
+                for _ in 0..1000 {
+                    i = i.wrapping_add(1);
+                    sketch.update((i * 37) % 997, 1);
+                }
+                black_box(sketch.self_join_size())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

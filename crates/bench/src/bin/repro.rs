@@ -1,0 +1,291 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [experiment...]
+//!     experiments: table1 fig3 fig4 fig5 fig6 fig8 fig9 fig10a fig10b fig11 all
+//!                  ablations (or: ablation_selection ablation_freshness
+//!                  ablation_detector ablation_loss)
+//!     env: DSJOIN_SCALE=quick|full   (default full)
+//! ```
+
+use dsj_bench::{ablation, figures, table1, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10a", "fig10b", "fig11",
+            "ablations",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    println!("# dsjoin reproduction harness (scale: {scale:?})");
+    for exp in wanted {
+        match exp {
+            "table1" => run_table1(scale),
+            "fig3" => run_fig3(),
+            "fig4" => run_fig4(),
+            "fig5" => run_fig5(scale),
+            "fig6" => run_fig6(scale),
+            "fig8" => run_fig8(scale),
+            "fig9" => run_fig9(scale),
+            "fig10a" => run_fig10a(scale),
+            "fig10b" => run_fig10b(scale),
+            "fig11" => run_fig11(scale),
+            "ablations" => {
+                run_ablation_selection(scale);
+                run_ablation_freshness(scale);
+                run_ablation_detector(scale);
+                run_ablation_loss(scale);
+                run_ablation_governor(scale);
+            }
+            "ablation_selection" => run_ablation_selection(scale),
+            "ablation_freshness" => run_ablation_freshness(scale),
+            "ablation_detector" => run_ablation_detector(scale),
+            "ablation_loss" => run_ablation_loss(scale),
+            "ablation_governor" => run_ablation_governor(scale),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}
+
+fn run_table1(scale: Scale) {
+    println!("\n## Table 1 — summary maintenance CPU time");
+    println!(
+        "(one full DFT vs {} incremental updates; paper shape: DFT >> iDFT ~ AGMS)",
+        scale.table1_updates()
+    );
+    println!("{:>10} {:>12} {:>12} {:>12}", "W", "DFT(s)", "iDFT(s)", "AGMS(s)");
+    for r in table1::run(&scale.table1_windows(), scale.table1_updates()) {
+        println!(
+            "{:>10} {:>12.4} {:>12.4} {:>12.4}",
+            r.w, r.dft_secs, r.idft_secs, r.agms_secs
+        );
+    }
+}
+
+fn run_fig3() {
+    println!("\n## Figure 3 — uniform-data bounds (Theorems 1/2)");
+    println!(
+        "{:>4} {:>10} {:>12} {:>8} {:>10} {:>10}",
+        "N", "eps(T=1)", "eps(T=logN)", "msgs(1)", "msgs(logN)", "msgs(BASE)"
+    );
+    for r in figures::fig3(20) {
+        println!(
+            "{:>4} {:>10.3} {:>12.3} {:>8.1} {:>10.2} {:>10}",
+            r.n, r.uniform_eps_t1, r.uniform_eps_tlog, r.msgs_t1, r.msgs_tlog, r.msgs_base
+        );
+    }
+}
+
+fn run_fig4() {
+    println!("\n## Figure 4 — Zipf(0.4) bounds (Theorem 3)");
+    println!("{:>4} {:>10} {:>12}", "N", "eps(T=1)", "eps(T=logN)");
+    for r in figures::fig4(20) {
+        println!("{:>4} {:>10.3} {:>12.3}", r.n, r.zipf_eps_t1, r.zipf_eps_tlog);
+    }
+}
+
+fn run_fig5(scale: Scale) {
+    println!("\n## Figure 5 — squared reconstruction errors, stock stream");
+    println!(
+        "{:>6} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "kappa", "retained", "MSE", "p50", "p90", "max", "lossless"
+    );
+    for r in figures::fig5(scale) {
+        println!(
+            "{:>6} {:>9} {:>10.4} {:>10.4} {:>10.4} {:>10.3} {:>9.1}%",
+            r.kappa,
+            r.retained,
+            r.mse,
+            r.p50,
+            r.p90,
+            r.max,
+            100.0 * r.lossless_fraction
+        );
+    }
+}
+
+fn run_fig6(scale: Scale) {
+    println!("\n## Figure 6 — MSE vs compression factor (threshold 0.25)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>6}",
+        "kappa", "E[MSE]", "std", "lossless", "<0.25"
+    );
+    for r in figures::fig6(scale) {
+        println!(
+            "{:>6} {:>12.5} {:>12.5} {:>9.1}% {:>6}",
+            r.kappa,
+            r.mse_mean,
+            r.mse_std,
+            100.0 * r.lossless_fraction,
+            if r.below_threshold { "yes" } else { "no" }
+        );
+    }
+}
+
+fn run_fig8(scale: Scale) {
+    println!("\n## Figure 8 — DFT coefficient overhead vs net data (kappa=256, Zipf)");
+    println!("{:>4} {:>10} {:>14} {:>14}", "N", "overhead%", "coeff bytes", "data bytes");
+    match figures::fig8(scale) {
+        Ok(rows) => {
+            for r in rows {
+                println!(
+                    "{:>4} {:>9.2}% {:>14} {:>14}",
+                    r.n, r.overhead_pct, r.overhead_bytes, r.data_bytes
+                );
+            }
+        }
+        Err(e) => eprintln!("fig8 failed: {e}"),
+    }
+}
+
+fn run_fig9(scale: Scale) {
+    println!("\n## Figure 9 — messages per result tuple at eps=15%");
+    println!(
+        "{:>5} {:>4} {:>6} {:>10} {:>8} {:>8}",
+        "data", "N", "algo", "msgs/res", "eps", "target"
+    );
+    match figures::fig9(scale) {
+        Ok(rows) => {
+            for r in rows {
+                println!(
+                    "{:>5} {:>4} {:>6} {:>10.2} {:>8.3} {:>8.2}",
+                    r.workload, r.n, r.algorithm.label(), r.messages_per_result, r.epsilon, r.target
+                );
+            }
+        }
+        Err(e) => eprintln!("fig9 failed: {e}"),
+    }
+}
+
+fn run_fig10a(scale: Scale) {
+    println!("\n## Figure 10a — error rate vs compression factor (N=8, Zipf)");
+    println!("{:>6} {:>6} {:>8} {:>12}", "kappa", "algo", "eps", "summary(B)");
+    match figures::fig10a(scale) {
+        Ok(rows) => {
+            for r in rows {
+                println!(
+                    "{:>6} {:>6} {:>8.3} {:>12}",
+                    r.x, r.algorithm.label(), r.epsilon, r.summary_bytes
+                );
+            }
+        }
+        Err(e) => eprintln!("fig10a failed: {e}"),
+    }
+}
+
+fn run_fig10b(scale: Scale) {
+    println!("\n## Figure 10b — error rate vs cluster size (kappa=256, Zipf)");
+    println!("{:>4} {:>6} {:>8}", "N", "algo", "eps");
+    match figures::fig10b(scale) {
+        Ok(rows) => {
+            for r in rows {
+                println!("{:>4} {:>6} {:>8.3}", r.x, r.algorithm.label(), r.epsilon);
+            }
+        }
+        Err(e) => eprintln!("fig10b failed: {e}"),
+    }
+}
+
+fn run_fig11(scale: Scale) {
+    println!("\n## Figure 11 — throughput at eps=15% (saturating load)");
+    println!("{:>4} {:>6} {:>12} {:>8}", "N", "algo", "tuples/s", "eps");
+    match figures::fig11(scale) {
+        Ok(rows) => {
+            for r in rows {
+                println!(
+                    "{:>4} {:>6} {:>12.1} {:>8.3}",
+                    r.n, r.algorithm.label(), r.throughput, r.epsilon
+                );
+            }
+        }
+        Err(e) => eprintln!("fig11 failed: {e}"),
+    }
+}
+
+fn run_ablation_selection(scale: Scale) {
+    println!("\n## Ablation — coefficient selection (prefix vs top-energy)");
+    println!(
+        "{:>16} {:>6} {:>12} {:>12} {:>10} {:>10}",
+        "signal", "kappa", "prefix MSE", "top MSE", "prefix B", "top B"
+    );
+    for r in ablation::selection(scale) {
+        println!(
+            "{:>16} {:>6} {:>12.4} {:>12.4} {:>10} {:>10}",
+            r.signal, r.kappa, r.prefix_mse, r.top_energy_mse, r.prefix_bytes, r.top_energy_bytes
+        );
+    }
+}
+
+fn run_ablation_freshness(scale: Scale) {
+    println!("\n## Ablation — summary freshness vs coefficient overhead (DFTT)");
+    println!("{:>14} {:>8} {:>10}", "sync every", "eps", "overhead%");
+    match ablation::sync_freshness(scale) {
+        Ok(rows) => {
+            for r in rows {
+                println!(
+                    "{:>11} msg {:>8.3} {:>9.2}%",
+                    r.sent_interval,
+                    r.epsilon,
+                    100.0 * r.overhead_ratio
+                );
+            }
+        }
+        Err(e) => eprintln!("ablation_freshness failed: {e}"),
+    }
+}
+
+fn run_ablation_detector(scale: Scale) {
+    println!("\n## Ablation — worst-case detector CV threshold (DFT)");
+    println!("{:>5} {:>10} {:>8} {:>10}", "data", "threshold", "eps", "fallback");
+    match ablation::detector(scale) {
+        Ok(rows) => {
+            for r in rows {
+                println!(
+                    "{:>5} {:>10.2} {:>8.3} {:>9.1}%",
+                    r.workload,
+                    r.threshold,
+                    r.epsilon,
+                    100.0 * r.fallback_fraction
+                );
+            }
+        }
+        Err(e) => eprintln!("ablation_detector failed: {e}"),
+    }
+}
+
+fn run_ablation_loss(scale: Scale) {
+    println!("\n## Ablation — in-flight message loss");
+    println!("{:>6} {:>6} {:>8}", "algo", "loss", "eps");
+    match ablation::loss(scale) {
+        Ok(rows) => {
+            for r in rows {
+                println!("{:>6} {:>6.2} {:>8.3}", r.algorithm.label(), r.loss, r.epsilon);
+            }
+        }
+        Err(e) => eprintln!("ablation_loss failed: {e}"),
+    }
+}
+
+fn run_ablation_governor(scale: Scale) {
+    println!("\n## Ablation — AIMD throughput governor (DFT, T=logN)");
+    println!("{:>12} {:>12} {:>8}", "budget", "msgs/tuple", "eps");
+    match ablation::governor(scale) {
+        Ok(rows) => {
+            for r in rows {
+                let label = if r.budget_bps == 0 {
+                    "unlimited".to_string()
+                } else {
+                    format!("{}bps", r.budget_bps)
+                };
+                println!("{label:>12} {:>12.2} {:>8.3}", r.msgs_per_tuple, r.epsilon);
+            }
+        }
+        Err(e) => eprintln!("ablation_governor failed: {e}"),
+    }
+}

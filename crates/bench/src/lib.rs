@@ -1,0 +1,30 @@
+//! Benchmark and reproduction harness for `dsjoin`.
+//!
+//! One module per experiment of the paper's evaluation (Section 6), each
+//! exposing a function that regenerates the corresponding table or figure
+//! as typed rows. The `repro` binary prints them; the Criterion benches in
+//! `benches/` time the performance-sensitive ones.
+//!
+//! | Paper artifact | Module / function |
+//! |---|---|
+//! | Table 1 (summary maintenance CPU) | [`table1::run`] |
+//! | Fig. 3 (uniform bounds) | [`figures::fig3`] |
+//! | Fig. 4 (Zipf bounds) | [`figures::fig4`] |
+//! | Fig. 5 (per-value reconstruction error) | [`figures::fig5`] |
+//! | Fig. 6 (MSE vs compression factor) | [`figures::fig6`] |
+//! | Fig. 8 (coefficient overhead %) | [`figures::fig8`] |
+//! | Fig. 9 (messages per result tuple) | [`figures::fig9`] |
+//! | Fig. 10a (error vs κ) | [`figures::fig10a`] |
+//! | Fig. 10b (error vs N) | [`figures::fig10b`] |
+//! | Fig. 11 (throughput) | [`figures::fig11`] |
+//!
+//! Beyond the paper, [`ablation`] quantifies the design choices:
+//! coefficient selection policy, summary freshness vs overhead, the
+//! worst-case detector threshold, and in-flight message loss.
+
+pub mod ablation;
+pub mod figures;
+pub mod scale;
+pub mod table1;
+
+pub use scale::Scale;

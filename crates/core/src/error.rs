@@ -1,0 +1,75 @@
+//! Error types for cluster experiment runs.
+
+use std::fmt;
+
+/// Error raised when an experiment configuration cannot be run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// Fewer than two nodes were requested — a distributed join needs peers.
+    TooFewNodes(u16),
+    /// The compression factor exceeds the attribute domain (no coefficients
+    /// would be retained).
+    KappaTooLarge {
+        /// Requested compression factor.
+        kappa: u32,
+        /// Attribute domain size.
+        domain: u32,
+    },
+    /// No tuples were requested.
+    NoTuples,
+    /// Calibration failed to reach the requested error rate within the
+    /// search budget.
+    CalibrationFailed {
+        /// The target error rate.
+        target_epsilon: f64,
+        /// Best error reached.
+        achieved: f64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::TooFewNodes(n) => {
+                write!(f, "distributed join needs at least 2 nodes, got {n}")
+            }
+            RunError::KappaTooLarge { kappa, domain } => write!(
+                f,
+                "compression factor {kappa} exceeds attribute domain {domain}"
+            ),
+            RunError::NoTuples => write!(f, "experiment must process at least one tuple"),
+            RunError::CalibrationFailed {
+                target_epsilon,
+                achieved,
+            } => write!(
+                f,
+                "could not calibrate to epsilon {target_epsilon}: best achieved {achieved}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RunError::TooFewNodes(1).to_string().contains("at least 2"));
+        assert!(RunError::KappaTooLarge {
+            kappa: 1024,
+            domain: 256
+        }
+        .to_string()
+        .contains("1024"));
+        assert!(RunError::NoTuples.to_string().contains("at least one"));
+        assert!(RunError::CalibrationFailed {
+            target_epsilon: 0.15,
+            achieved: 0.4
+        }
+        .to_string()
+        .contains("0.15"));
+    }
+}

@@ -1,0 +1,334 @@
+//! Flow control: turning correlation coefficients into bounded forwarding
+//! probabilities (Section 5.2.2), detecting the uniform-data worst case,
+//! and the round-robin fallback policy.
+//!
+//! For every arriving tuple, node `i` forwards to node `j` with probability
+//! `p_{i,j} = w_i · ρ_{i,j}` (Eqn. 4). The weight `w_i` is chosen so the
+//! expected number of transmissions `T_i = Σ_j p_{i,j}` satisfies
+//! `1 ≤ T_i ≤ log N` (Eqn. 9). A near-zero variance among the `ρ_{i,j}`
+//! signals uniformly distributed data — the worst case of Theorems 1/2 —
+//! and triggers a heuristic fallback (round-robin) as the paper prescribes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The message-complexity operating point `T_i` (Eqn. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TargetComplexity {
+    /// A fixed expected number of transmissions per tuple (the paper's
+    /// `T_i = 1` bound is `Constant(1.0)`). Values below 1 under-send and
+    /// are allowed for calibration sweeps.
+    Constant(f64),
+    /// `T_i = log₂ N` — the paper's upper operating point.
+    LogN,
+}
+
+impl TargetComplexity {
+    /// The numeric target for a cluster of `n` nodes, clamped to the
+    /// feasible `[0, n−1]` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn target(&self, n: u16) -> f64 {
+        assert!(n >= 2, "need at least two nodes");
+        let raw = match *self {
+            TargetComplexity::Constant(c) => c,
+            TargetComplexity::LogN => (n as f64).log2().max(1.0),
+        };
+        raw.clamp(0.0, (n - 1) as f64)
+    }
+}
+
+impl Default for TargetComplexity {
+    fn default() -> Self {
+        TargetComplexity::Constant(1.0)
+    }
+}
+
+/// Tunables of the flow-filtering layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowParams {
+    /// Message-complexity operating point.
+    pub target: TargetComplexity,
+    /// Coefficient-of-variation (σ/μ) threshold below which the per-peer
+    /// correlations are considered indistinguishable (uniform-data worst
+    /// case).
+    pub uniform_cv_threshold: f64,
+    /// Probability of routing a tuple by flow probabilities even when a
+    /// membership test (DFTT/BLOOM) finds no candidate site — keeps the
+    /// summaries honest when they go stale.
+    pub explore: f64,
+}
+
+impl Default for FlowParams {
+    fn default() -> Self {
+        FlowParams {
+            target: TargetComplexity::default(),
+            uniform_cv_threshold: 0.05,
+            explore: 0.05,
+        }
+    }
+}
+
+/// Computes forwarding probabilities `p_j = clamp(w·ρ⁺_j, 0, 1)` with the
+/// weight `w` chosen so `Σ_j p_j` meets `target` as closely as clamping
+/// allows (two redistribution passes).
+///
+/// `None` entries are peers with no summary yet; they receive the blind
+/// probability `target / len` so unknown peers are neither starved nor
+/// flooded. Returns `None` when every known correlation is non-positive —
+/// the caller should fall back to a heuristic policy.
+pub fn forwarding_probabilities(rhos: &[Option<f64>], target: f64) -> Option<Vec<f64>> {
+    if rhos.is_empty() || target <= 0.0 {
+        return None;
+    }
+    let blind = (target / rhos.len() as f64).min(1.0);
+    let known_positive: f64 = rhos
+        .iter()
+        .flatten()
+        .map(|&r| r.max(0.0))
+        .sum();
+    if known_positive <= 1e-12 && rhos.iter().any(|r| r.is_some()) {
+        return None;
+    }
+    // Effective affinity per peer: clamped ρ for known peers, a placeholder
+    // proportional to the blind probability for unknown ones.
+    let mean_known = {
+        let k = rhos.iter().flatten().count();
+        if k == 0 {
+            1.0
+        } else {
+            (known_positive / k as f64).max(1e-6)
+        }
+    };
+    let affinity: Vec<f64> = rhos
+        .iter()
+        .map(|r| match r {
+            Some(v) => v.max(0.0),
+            None => mean_known.min(blind.max(1e-6)),
+        })
+        .collect();
+    let mut probs = vec![0.0; rhos.len()];
+    let mut remaining = target.min(rhos.len() as f64);
+    // Water-fill in two passes: peers clamped at 1.0 release budget that is
+    // redistributed over the rest.
+    let mut open: Vec<usize> = (0..rhos.len()).collect();
+    for _ in 0..2 {
+        let mass: f64 = open.iter().map(|&j| affinity[j]).sum();
+        if mass <= 1e-12 || remaining <= 1e-12 {
+            break;
+        }
+        let w = remaining / mass;
+        let mut next_open = Vec::new();
+        for &j in &open {
+            let p = (w * affinity[j]).min(1.0);
+            probs[j] = p;
+            if p < 1.0 {
+                next_open.push(j);
+            }
+        }
+        remaining = (target - probs.iter().sum::<f64>()).max(0.0);
+        open = next_open;
+    }
+    // Budget the affinities could not justify is spread uniformly — a
+    // target approaching N−1 must approach broadcast regardless of how
+    // skewed (or zero) the correlations are.
+    for _ in 0..2 {
+        if remaining <= 1e-9 {
+            break;
+        }
+        let open: Vec<usize> = (0..probs.len()).filter(|&j| probs[j] < 1.0).collect();
+        if open.is_empty() {
+            break;
+        }
+        let share = remaining / open.len() as f64;
+        for &j in &open {
+            probs[j] = (probs[j] + share).min(1.0);
+        }
+        remaining = (target - probs.iter().sum::<f64>()).max(0.0);
+    }
+    Some(probs)
+}
+
+/// `true` when the known correlations are too uniform to carry routing
+/// signal — the Theorem 1/2 worst case (Section 5.2.2). The test is on the
+/// coefficient of variation σ/μ: uniformly distributed data drives every
+/// pairwise ρ to the same (high) value, while skewed data spreads them.
+pub fn detect_uniform(rhos: &[Option<f64>], cv_threshold: f64) -> bool {
+    let known: Vec<f64> = rhos.iter().flatten().copied().collect();
+    if known.len() < 2 || known.len() * 2 < rhos.len() {
+        // Too few summaries to judge; assume skew until proven otherwise.
+        return false;
+    }
+    let n = known.len() as f64;
+    let mean = known.iter().sum::<f64>() / n;
+    if mean <= 1e-9 {
+        // No correlation mass at all: let the probability builder decide.
+        return false;
+    }
+    let var = known.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
+    var.sqrt() / mean < cv_threshold
+}
+
+/// Samples the set of peers to forward to, one Bernoulli draw per peer.
+pub fn sample_recipients(probs: &[f64], rng: &mut StdRng) -> Vec<usize> {
+    probs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &p)| p > 0.0 && (p >= 1.0 || rng.gen_bool(p.min(1.0))))
+        .map(|(j, _)| j)
+        .collect()
+}
+
+/// Round-robin peer selection — the fallback distribution policy for the
+/// uniform worst case.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRobin {
+    cursor: u16,
+}
+
+impl RoundRobin {
+    /// Creates a fresh round-robin state.
+    pub fn new() -> Self {
+        RoundRobin { cursor: 0 }
+    }
+
+    /// Picks up to `count` distinct peers from a mesh of `n` nodes,
+    /// skipping `me`, advancing the cursor across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `me >= n`.
+    pub fn pick(&mut self, me: u16, n: u16, count: usize) -> Vec<u16> {
+        assert!(n >= 2, "need at least two nodes");
+        assert!(me < n, "node id out of range");
+        let peers = (n - 1) as usize;
+        let take = count.min(peers);
+        let mut out = Vec::with_capacity(take);
+        while out.len() < take {
+            let candidate = self.cursor % n;
+            self.cursor = (self.cursor + 1) % n;
+            if candidate != me {
+                out.push(candidate);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn target_values() {
+        assert_eq!(TargetComplexity::Constant(1.0).target(8), 1.0);
+        assert_eq!(TargetComplexity::LogN.target(8), 3.0);
+        // log2(2) = 1 → floor at 1.
+        assert_eq!(TargetComplexity::LogN.target(2), 1.0);
+        // Clamped to n-1.
+        assert_eq!(TargetComplexity::Constant(99.0).target(4), 3.0);
+    }
+
+    #[test]
+    fn probabilities_meet_target() {
+        let rhos = vec![Some(0.9), Some(0.3), Some(0.1), Some(0.5)];
+        let p = forwarding_probabilities(&rhos, 1.0).unwrap();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        // Monotone in ρ.
+        assert!(p[0] > p[3] && p[3] > p[1] && p[1] > p[2]);
+    }
+
+    #[test]
+    fn probabilities_clamp_and_redistribute() {
+        let rhos = vec![Some(1.0), Some(0.01), Some(0.01)];
+        let p = forwarding_probabilities(&rhos, 2.0).unwrap();
+        assert!(p[0] <= 1.0 + 1e-12);
+        let sum: f64 = p.iter().sum();
+        assert!(sum > 1.0, "clamped budget redistributed: {sum}");
+    }
+
+    #[test]
+    fn negative_rho_gets_zero() {
+        let rhos = vec![Some(-0.5), Some(0.5)];
+        let p = forwarding_probabilities(&rhos, 1.0).unwrap();
+        assert_eq!(p[0], 0.0);
+        assert!(p[1] > 0.0);
+    }
+
+    #[test]
+    fn all_nonpositive_is_none() {
+        assert!(forwarding_probabilities(&[Some(-0.1), Some(0.0)], 1.0).is_none());
+        assert!(forwarding_probabilities(&[], 1.0).is_none());
+        assert!(forwarding_probabilities(&[Some(0.5)], 0.0).is_none());
+    }
+
+    #[test]
+    fn unknown_peers_get_blind_probability() {
+        let rhos = vec![None, None, None, None];
+        let p = forwarding_probabilities(&rhos, 1.0).unwrap();
+        for &pj in &p {
+            assert!((pj - 0.25).abs() < 1e-9, "blind prob {pj}");
+        }
+    }
+
+    #[test]
+    fn uniform_detection() {
+        let flat = vec![Some(0.30), Some(0.31), Some(0.295), Some(0.305)];
+        assert!(detect_uniform(&flat, 0.05));
+        let skewed = vec![Some(0.9), Some(0.1), Some(0.3), Some(0.2)];
+        assert!(!detect_uniform(&skewed, 0.05));
+        // Too few known values: undecided ⇒ not uniform.
+        let sparse = vec![Some(0.3), None, None, None];
+        assert!(!detect_uniform(&sparse, 0.05));
+        // Small but *spread* correlations are signal, not uniformity.
+        let small_spread = vec![Some(0.07), Some(0.13), Some(0.09), Some(0.06)];
+        assert!(!detect_uniform(&small_spread, 0.05));
+        // Zero mass: undecided (the probability builder falls back anyway).
+        let zero = vec![Some(0.0), Some(0.0)];
+        assert!(!detect_uniform(&zero, 0.05));
+    }
+
+    #[test]
+    fn sampling_respects_certainty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let picks = sample_recipients(&[1.0, 0.0, 1.0], &mut rng);
+        assert_eq!(picks, vec![0, 2]);
+    }
+
+    #[test]
+    fn sampling_expected_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let probs = vec![0.5, 0.25, 0.25];
+        let total: usize = (0..10_000)
+            .map(|_| sample_recipients(&probs, &mut rng).len())
+            .sum();
+        let avg = total as f64 / 10_000.0;
+        assert!((avg - 1.0).abs() < 0.05, "average sends {avg}");
+    }
+
+    #[test]
+    fn round_robin_cycles_without_self() {
+        let mut rr = RoundRobin::new();
+        let a = rr.pick(1, 4, 2);
+        let b = rr.pick(1, 4, 2);
+        let c = rr.pick(1, 4, 2);
+        assert_eq!(a, vec![0, 2]);
+        assert_eq!(b, vec![3, 0]);
+        assert_eq!(c, vec![2, 3]);
+        for v in [a, b, c] {
+            assert!(!v.contains(&1));
+        }
+    }
+
+    #[test]
+    fn round_robin_caps_at_peer_count() {
+        let mut rr = RoundRobin::new();
+        let picks = rr.pick(0, 3, 10);
+        assert_eq!(picks.len(), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Wire messages and their byte-size model.
+//!
+//! The simulator charges every message its modeled wire size against the
+//! 90 kbps links, so the byte model below *is* the bandwidth cost the
+//! algorithms pay. Summary content (DFT coefficient updates, Bloom filters,
+//! AGMS sketches) is accounted separately from tuple payload so that
+//! Figure 8's overhead-vs-net-data ratio can be reported.
+
+use dsj_dft::Complex64;
+use dsj_sketch::{AgmsSketch, CountingBloomFilter};
+use dsj_stream::{StreamId, Tuple};
+use serde::{Deserialize, Serialize};
+
+/// One DFT coefficient update: bin index plus new value.
+///
+/// Wire size: 2 (index) + 16 (complex) = [`CoeffUpdate::WIRE_BYTES`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoeffUpdate {
+    /// Coefficient (frequency bin) index.
+    pub index: u16,
+    /// New coefficient value.
+    pub value: Complex64,
+}
+
+impl CoeffUpdate {
+    /// Bytes per update on the wire.
+    pub const WIRE_BYTES: usize = 18;
+}
+
+/// Algorithm-specific summary content exchanged between nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SummaryPayload {
+    /// Changed DFT coefficients of one stream's window histogram.
+    Dft {
+        /// Which stream's window the coefficients summarize.
+        stream: StreamId,
+        /// Length of the summarized signal (the attribute domain).
+        signal_len: u32,
+        /// The changed coefficients.
+        updates: Vec<CoeffUpdate>,
+    },
+    /// A full counting Bloom filter of one stream's window.
+    Bloom {
+        /// Which stream's window the filter summarizes.
+        stream: StreamId,
+        /// The filter.
+        filter: CountingBloomFilter,
+    },
+    /// A full AGMS sketch of one stream's window.
+    Sketch {
+        /// Which stream's window the sketch summarizes.
+        stream: StreamId,
+        /// The sketch.
+        sketch: AgmsSketch,
+    },
+}
+
+impl SummaryPayload {
+    /// Modeled wire size in bytes (content plus a 4-byte header).
+    pub fn wire_bytes(&self) -> usize {
+        4 + match self {
+            SummaryPayload::Dft { updates, .. } => updates.len() * CoeffUpdate::WIRE_BYTES,
+            SummaryPayload::Bloom { filter, .. } => filter.size_bytes(),
+            SummaryPayload::Sketch { sketch, .. } => sketch.size_bytes(),
+        }
+    }
+}
+
+/// A message on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    /// A forwarded tuple, optionally carrying piggy-backed summary updates
+    /// (Fig. 7 line 5: coefficient changes ride on tuple messages).
+    Tuple {
+        /// The forwarded tuple (probe-only at the receiver; never stored).
+        tuple: Tuple,
+        /// Piggy-backed summary content (empty when none).
+        piggyback: Vec<SummaryPayload>,
+    },
+    /// A standalone summary batch (sent when no tuple message has carried
+    /// pending updates to a peer for too long).
+    Summary(Vec<SummaryPayload>),
+}
+
+impl Msg {
+    /// Modeled wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Msg::Tuple { piggyback, .. } => {
+                Tuple::WIRE_BYTES + piggyback.iter().map(SummaryPayload::wire_bytes).sum::<usize>()
+            }
+            Msg::Summary(ps) => ps.iter().map(SummaryPayload::wire_bytes).sum(),
+        }
+    }
+
+    /// Bytes attributable to *tuple data* (the "net data" of Figure 8).
+    pub fn data_bytes(&self) -> usize {
+        match self {
+            Msg::Tuple { .. } => Tuple::WIRE_BYTES,
+            Msg::Summary(_) => 0,
+        }
+    }
+
+    /// Bytes attributable to *summary overhead* (Figure 8's numerator).
+    pub fn overhead_bytes(&self) -> usize {
+        self.wire_bytes() - self.data_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsj_stream::StreamId;
+
+    fn coeffs(n: usize) -> Vec<CoeffUpdate> {
+        (0..n)
+            .map(|i| CoeffUpdate {
+                index: i as u16,
+                value: Complex64::new(i as f64, -(i as f64)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tuple_msg_size() {
+        let bare = Msg::Tuple {
+            tuple: Tuple::new(StreamId::R, 1, 2, 3),
+            piggyback: Vec::new(),
+        };
+        assert_eq!(bare.wire_bytes(), Tuple::WIRE_BYTES);
+        assert_eq!(bare.data_bytes(), Tuple::WIRE_BYTES);
+        assert_eq!(bare.overhead_bytes(), 0);
+    }
+
+    #[test]
+    fn piggyback_adds_overhead_only() {
+        let m = Msg::Tuple {
+            tuple: Tuple::new(StreamId::R, 1, 2, 3),
+            piggyback: vec![SummaryPayload::Dft {
+                stream: StreamId::R,
+                signal_len: 1024,
+                updates: coeffs(3),
+            }],
+        };
+        assert_eq!(m.data_bytes(), Tuple::WIRE_BYTES);
+        assert_eq!(m.overhead_bytes(), 4 + 3 * CoeffUpdate::WIRE_BYTES);
+        assert_eq!(m.wire_bytes(), m.data_bytes() + m.overhead_bytes());
+    }
+
+    #[test]
+    fn summary_sizes_match_content() {
+        let dft = Msg::Summary(vec![SummaryPayload::Dft {
+            stream: StreamId::S,
+            signal_len: 64,
+            updates: coeffs(10),
+        }]);
+        assert_eq!(dft.wire_bytes(), 4 + 180);
+        assert_eq!(dft.data_bytes(), 0);
+
+        let filter = CountingBloomFilter::new(256, 4, 1);
+        let bloom = Msg::Summary(vec![SummaryPayload::Bloom {
+            stream: StreamId::R,
+            filter: filter.clone(),
+        }]);
+        assert_eq!(bloom.wire_bytes(), 4 + filter.size_bytes());
+
+        let sketch = AgmsSketch::new(25, 5, 1);
+        let skch = Msg::Summary(vec![SummaryPayload::Sketch {
+            stream: StreamId::R,
+            sketch: sketch.clone(),
+        }]);
+        assert_eq!(skch.wire_bytes(), 4 + sketch.size_bytes());
+    }
+}

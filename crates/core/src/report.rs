@@ -1,0 +1,176 @@
+//! Rendering experiment results as aligned text tables.
+//!
+//! The `repro` harness, the CLI and the examples all print result grids;
+//! this module gives them one implementation: a [`Table`] builder with
+//! alignment and a [`compare`] helper that lays several
+//! [`ExperimentReport`]s side by side the way the paper's figures do.
+
+use crate::runner::ExperimentReport;
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple aligned text table.
+///
+/// ```
+/// use dsj_core::report::{Align, Table};
+///
+/// let mut t = Table::new(vec![("algo", Align::Left), ("eps", Align::Right)]);
+/// t.row(vec!["DFTT".into(), "0.150".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("DFTT"));
+/// assert!(text.lines().count() >= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<(String, Align)>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers and alignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<(&str, Align)>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers: headers
+                .into_iter()
+                .map(|(h, a)| (h.to_string(), a))
+                .collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// are truncated to the column count.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|(h, _)| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        for (i, (h, _)) in self.headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{h:>width$}", width = widths[i])?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                match self.headers[i].1 {
+                    Align::Left => write!(f, "{cell:<width$}", width = widths[i])?,
+                    Align::Right => write!(f, "{cell:>width$}", width = widths[i])?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Lays several reports side by side on the paper's three headline
+/// metrics: ε, messages per result tuple, and throughput.
+pub fn compare(reports: &[ExperimentReport]) -> Table {
+    let mut t = Table::new(vec![
+        ("algo", Align::Left),
+        ("eps", Align::Right),
+        ("msgs/result", Align::Right),
+        ("msgs/tuple", Align::Right),
+        ("throughput", Align::Right),
+        ("fallback%", Align::Right),
+    ]);
+    for r in reports {
+        t.row(vec![
+            r.algorithm.label().to_string(),
+            format!("{:.3}", r.epsilon),
+            format!("{:.2}", r.messages_per_result),
+            format!("{:.2}", r.msgs_per_tuple),
+            format!("{:.0}", r.throughput),
+            format!("{:.1}", 100.0 * r.fallback_fraction),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Algorithm;
+    use crate::ClusterConfig;
+
+    #[test]
+    fn alignment_and_padding() {
+        let mut t = Table::new(vec![("name", Align::Left), ("value", Align::Right)]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into()]); // short row padded
+        t.row(vec!["x".into(), "22".into(), "extra".into()]); // long row truncated
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width (trailing cells padded).
+        assert!(lines[1].starts_with("a     "));
+        assert!(lines[1].ends_with("    1"));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn compare_renders_reports() {
+        let reports: Vec<_> = [Algorithm::Base, Algorithm::Dftt]
+            .into_iter()
+            .map(|alg| {
+                ClusterConfig::new(3, alg)
+                    .window(64)
+                    .domain(256)
+                    .tuples(600)
+                    .run()
+                    .expect("valid configuration")
+            })
+            .collect();
+        let table = compare(&reports);
+        let text = table.to_string();
+        assert!(text.contains("BASE"));
+        assert!(text.contains("DFTT"));
+        assert!(text.contains("msgs/result"));
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "a table needs at least one column")]
+    fn empty_headers_rejected() {
+        Table::new(vec![]);
+    }
+}

@@ -1,0 +1,780 @@
+//! Experiment runner: builds a cluster, drives a workload through the
+//! simulated WAN, and measures the paper's three metrics — ε-error,
+//! messages per result tuple, and throughput (Section 6).
+
+use crate::error::RunError;
+use crate::flow::{FlowParams, TargetComplexity};
+use crate::node::{JoinNode, NodeMetrics};
+use crate::strategy::{Algorithm, RouterConfig};
+use dsj_simnet::{LinkConfig, SimDuration, SimTime, Simulation};
+use dsj_stream::gen::{Arrival, ArrivalGen, WorkloadKind};
+use dsj_stream::trace::Trace;
+use dsj_stream::join::GroundTruth;
+use dsj_stream::partition::Partitioner;
+use dsj_stream::WindowSpec;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one cluster experiment — a builder whose `run()`
+/// executes the full pipeline: workload generation, ground-truth
+/// accounting, WAN simulation, and metric aggregation.
+///
+/// Defaults mirror the paper's setup scaled to laptop runtimes: Zipf
+/// α = 0.4 keys, geographic partitioning, the 20–100 ms / 90 kbps WAN
+/// model, κ = 256 compression and the `O(1)` message-complexity target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes `N`.
+    pub n: u16,
+    /// A recorded trace to replay instead of generating `workload`
+    /// (node assignments in the trace must fit `n`). Not serialized —
+    /// traces live in their own files (`dsj_stream::trace`).
+    #[serde(skip)]
+    pub trace: Option<Trace>,
+    /// The join algorithm.
+    pub algorithm: Algorithm,
+    /// Per-stream window size `W` at each node.
+    pub window: usize,
+    /// Join-attribute domain size `D`.
+    pub domain: u32,
+    /// Total tuples injected (across all nodes, both streams).
+    pub tuples: usize,
+    /// Workload kind.
+    pub workload: WorkloadKind,
+    /// Geographic locality of the partitioner (probability a tuple lands
+    /// on its key-range owner).
+    pub locality: f64,
+    /// DFT compression factor κ: `K = max(1, D/κ)` coefficients retained;
+    /// Bloom/sketch summaries are sized to the same bytes.
+    pub kappa: u32,
+    /// Message-complexity operating point.
+    pub target: TargetComplexity,
+    /// Aggregate tuple arrival rate per node (tuples/second).
+    pub arrival_rate: f64,
+    /// WAN link model.
+    pub link: LinkConfig,
+    /// Fraction of the run treated as warm-up (matches not counted).
+    pub warmup: f64,
+    /// Master seed (workload, latencies, routing draws).
+    pub seed: u64,
+    /// Flow-control tunables.
+    pub flow_overrides: Option<FlowParams>,
+    /// Refresh a peer's summary after this many tuple messages to it.
+    pub sync_sent_interval: u32,
+    /// ... or after this many local arrivals, whichever first.
+    pub sync_arrival_interval: u32,
+    /// Correlation cache refresh period (arrivals).
+    pub rho_refresh: u32,
+    /// Per-node outbound bandwidth allowance (bits/second) enforced by the
+    /// AIMD throughput governor — the abstract's "automatic throughput
+    /// handling based on resource availability". `None` disables governing.
+    pub bandwidth_budget_bps: Option<u64>,
+    /// When set, windows are bounded by *time* instead of tuple count:
+    /// each node keeps tuples seen within the last `ms` milliseconds of
+    /// virtual time (the paper notes its method is agnostic to the window
+    /// definition — this exercises that claim end-to-end). `window` is
+    /// still used to size summaries.
+    pub time_window_ms: Option<u64>,
+    /// When set, the simulation is cut off this many milliseconds after
+    /// the last injection instead of draining to quiescence; results still
+    /// queued on saturated links are lost, modeling sustained overload
+    /// (used by the Figure 11 throughput experiment). When `None`, every
+    /// message is delivered before measuring.
+    pub cutoff_grace_ms: Option<u64>,
+}
+
+impl ClusterConfig {
+    /// Creates a configuration for `n` nodes running `algorithm`, with
+    /// paper-like defaults for everything else.
+    pub fn new(n: u16, algorithm: Algorithm) -> Self {
+        ClusterConfig {
+            n,
+            trace: None,
+            algorithm,
+            window: 1024,
+            domain: 1 << 12,
+            tuples: 20_000,
+            workload: WorkloadKind::Zipf { alpha: 0.4 },
+            locality: 0.8,
+            kappa: 256,
+            target: TargetComplexity::Constant(1.0),
+            arrival_rate: 200.0,
+            link: LinkConfig::paper_wan(),
+            warmup: 0.2,
+            seed: 42,
+            flow_overrides: None,
+            sync_sent_interval: 256,
+            sync_arrival_interval: 2048,
+            rho_refresh: 64,
+            bandwidth_budget_bps: None,
+            time_window_ms: None,
+            cutoff_grace_ms: None,
+        }
+    }
+
+    /// Sets the per-node window size `W`.
+    pub fn window(mut self, w: usize) -> Self {
+        self.window = w;
+        self
+    }
+
+    /// Sets the attribute domain size `D`.
+    pub fn domain(mut self, d: u32) -> Self {
+        self.domain = d;
+        self
+    }
+
+    /// Sets the total tuple count.
+    pub fn tuples(mut self, t: usize) -> Self {
+        self.tuples = t;
+        self
+    }
+
+    /// Sets the workload.
+    pub fn workload(mut self, w: WorkloadKind) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// Sets the geographic locality.
+    pub fn locality(mut self, l: f64) -> Self {
+        self.locality = l;
+        self
+    }
+
+    /// Sets the compression factor κ.
+    pub fn kappa(mut self, k: u32) -> Self {
+        self.kappa = k;
+        self
+    }
+
+    /// Sets the message-complexity target.
+    pub fn target(mut self, t: TargetComplexity) -> Self {
+        self.target = t;
+        self
+    }
+
+    /// Sets the per-node arrival rate (tuples/second).
+    pub fn arrival_rate(mut self, r: f64) -> Self {
+        self.arrival_rate = r;
+        self
+    }
+
+    /// Sets the link model.
+    pub fn link(mut self, l: LinkConfig) -> Self {
+        self.link = l;
+        self
+    }
+
+    /// Sets the warm-up fraction.
+    pub fn warmup(mut self, w: f64) -> Self {
+        self.warmup = w;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Overrides flow-control tunables.
+    pub fn flow(mut self, f: FlowParams) -> Self {
+        self.flow_overrides = Some(f);
+        self
+    }
+
+    /// Replays a recorded [`Trace`] instead of generating the workload.
+    /// The trace's length overrides `tuples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any recorded arrival targets a node `>= n` or a key
+    /// `>= domain`.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        for a in trace.arrivals() {
+            assert!(a.node < self.n, "trace node {} out of range", a.node);
+            assert!(a.key < self.domain, "trace key {} out of domain", a.key);
+        }
+        self.tuples = trace.len();
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Caps each node's outbound rate at `budget_bps` bits/second via the
+    /// AIMD throughput governor.
+    pub fn bandwidth_budget(mut self, budget_bps: u64) -> Self {
+        self.bandwidth_budget_bps = Some(budget_bps);
+        self
+    }
+
+    /// Bounds windows by time (milliseconds of virtual time) instead of
+    /// tuple count.
+    pub fn time_window(mut self, ms: u64) -> Self {
+        self.time_window_ms = Some(ms);
+        self
+    }
+
+    /// Cuts the simulation off `ms` milliseconds after the last injection
+    /// (sustained-overload semantics; see [`ClusterConfig::cutoff_grace_ms`]).
+    pub fn cutoff_grace(mut self, ms: u64) -> Self {
+        self.cutoff_grace_ms = Some(ms);
+        self
+    }
+
+    /// Sets the summary synchronization intervals: refresh a peer's copy
+    /// after `sent` tuple messages to it, or after `arrivals` local
+    /// arrivals, whichever comes first.
+    pub fn sync_intervals(mut self, sent: u32, arrivals: u32) -> Self {
+        self.sync_sent_interval = sent;
+        self.sync_arrival_interval = arrivals;
+        self
+    }
+
+    fn validate(&self) -> Result<(), RunError> {
+        if self.n < 2 {
+            return Err(RunError::TooFewNodes(self.n));
+        }
+        if self.kappa > self.domain {
+            return Err(RunError::KappaTooLarge {
+                kappa: self.kappa,
+                domain: self.domain,
+            });
+        }
+        if self.tuples == 0 {
+            return Err(RunError::NoTuples);
+        }
+        Ok(())
+    }
+
+    /// Runs the experiment and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] for invalid configurations (see
+    /// [`RunError`]'s variants).
+    pub fn run(&self) -> Result<ExperimentReport, RunError> {
+        self.validate()?;
+
+        // Build the cluster.
+        let nodes: Vec<JoinNode> = (0..self.n).map(|me| self.build_node(me)).collect();
+        let mut sim = Simulation::new(nodes, self.link, self.seed ^ 0x51A1);
+
+        // Generate the workload and account ground truth.
+        let arrivals = self.arrivals();
+        let warmup_seq = (self.tuples as f64 * self.warmup) as u64;
+        // Ground truth evicts with the same clock the nodes use: tuple
+        // count for count windows, virtual arrival time for time windows.
+        let dt_us = self.interarrival_us();
+        let mut truth = GroundTruth::new(self.n as usize, self.window_spec());
+        let mut truth_matches = 0u64;
+        for a in &arrivals {
+            let m = truth.observe(a.tuple(), a.seq * dt_us);
+            if a.seq >= warmup_seq {
+                truth_matches += m.total();
+            }
+        }
+
+        // Inject at the configured aggregate rate and run to completion.
+        let mut last_inject = SimTime::ZERO;
+        for a in &arrivals {
+            let t = SimTime::ZERO + SimDuration::from_micros(a.seq * dt_us);
+            last_inject = t;
+            sim.inject_at(t, a.node, a.tuple());
+        }
+        let horizon = match self.cutoff_grace_ms {
+            Some(ms) => {
+                let horizon = last_inject + SimDuration::from_millis(ms);
+                sim.run_until(horizon);
+                horizon
+            }
+            None => {
+                sim.run_to_quiescence();
+                sim.now()
+            }
+        };
+
+        // Aggregate.
+        let mut total = NodeMetrics::default();
+        let mut fallback_events = 0u64;
+        let mut per_node_arrivals = Vec::with_capacity(self.n as usize);
+        let mut per_node_sent = Vec::with_capacity(self.n as usize);
+        for node in sim.iter_nodes() {
+            total.absorb(node.metrics());
+            fallback_events += node.fallback_events();
+            per_node_arrivals.push(node.metrics().arrivals);
+            per_node_sent.push(node.metrics().tuple_msgs_sent);
+        }
+        let mean_arrivals = self.tuples as f64 / self.n as f64;
+        let load_imbalance = per_node_arrivals
+            .iter()
+            .fold(0.0_f64, |acc, &a| acc.max(a as f64))
+            / mean_arrivals.max(1e-9);
+        let reported = total.matches();
+        let epsilon = if truth_matches == 0 {
+            0.0
+        } else {
+            ((truth_matches as f64 - reported as f64) / truth_matches as f64).max(0.0)
+        };
+        let duration = horizon.as_secs_f64().max(1e-9);
+        let messages = sim.metrics().messages_sent;
+        Ok(ExperimentReport {
+            algorithm: self.algorithm,
+            workload: self.workload.label().to_string(),
+            n: self.n,
+            window: self.window,
+            domain: self.domain,
+            kappa: self.kappa,
+            tuples: self.tuples,
+            truth_matches,
+            reported_matches: reported,
+            epsilon,
+            messages,
+            tuple_msgs: total.tuple_msgs_sent,
+            summary_msgs: total.summary_msgs_sent,
+            bytes: sim.metrics().bytes_sent,
+            data_bytes: total.data_bytes_sent,
+            overhead_bytes: total.overhead_bytes_sent,
+            overhead_ratio: if total.data_bytes_sent == 0 {
+                0.0
+            } else {
+                total.overhead_bytes_sent as f64 / total.data_bytes_sent as f64
+            },
+            messages_per_result: messages as f64 / reported.max(1) as f64,
+            msgs_per_tuple: total.tuple_msgs_sent as f64 / self.tuples as f64,
+            duration_secs: duration,
+            throughput: reported as f64 / duration,
+            fallback_fraction: total.fallback_routes as f64 / self.tuples.max(1) as f64,
+            fallback_events,
+            per_node_arrivals,
+            per_node_sent,
+            load_imbalance,
+            dropped_messages: sim.metrics().messages_dropped,
+        })
+    }
+
+    /// Calibrates the message-complexity target so the measured error is at
+    /// most `target_epsilon` (the paper fixes ε = 15% when comparing
+    /// message counts and throughput), then returns the calibrated run.
+    ///
+    /// If even the maximum budget (`T = N−1`, the broadcast limit) cannot
+    /// reach the target, the maximum-budget run is returned (best effort,
+    /// like the paper's saturated configurations). [`Algorithm::Base`]
+    /// needs no calibration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from the underlying runs.
+    pub fn run_at_epsilon(&self, target_epsilon: f64) -> Result<(ExperimentReport, f64), RunError> {
+        if self.algorithm == Algorithm::Base {
+            return Ok((self.run()?, (self.n - 1) as f64));
+        }
+        let mut lo = 0.25_f64;
+        let mut hi = (self.n - 1) as f64;
+        let at = |t: f64| -> Result<ExperimentReport, RunError> {
+            let mut cfg = self.clone();
+            cfg.target = TargetComplexity::Constant(t);
+            cfg.run()
+        };
+        let hi_report = at(hi)?;
+        if hi_report.epsilon > target_epsilon {
+            return Ok((hi_report, hi));
+        }
+        let lo_report = at(lo)?;
+        if lo_report.epsilon <= target_epsilon {
+            return Ok((lo_report, lo));
+        }
+        let mut best = (hi_report, hi);
+        for _ in 0..6 {
+            let mid = 0.5 * (lo + hi);
+            let report = at(mid)?;
+            if report.epsilon <= target_epsilon {
+                hi = mid;
+                best = (report, mid);
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(best)
+    }
+
+    /// The effective window policy (`window` tuples, or the configured
+    /// time span).
+    pub fn window_spec(&self) -> WindowSpec {
+        match self.time_window_ms {
+            Some(ms) => WindowSpec::Time(ms * 1_000),
+            None => WindowSpec::count(self.window),
+        }
+    }
+
+    /// Microseconds between consecutive global arrivals at the configured
+    /// aggregate rate.
+    pub fn interarrival_us(&self) -> u64 {
+        (1_000_000.0 / (self.arrival_rate * self.n as f64)).max(1.0) as u64
+    }
+
+    /// Builds node `me` exactly as [`ClusterConfig::run`] would — the hook
+    /// other runtimes (e.g. the live threaded cluster in `dsj-runtime`)
+    /// use to host the same node logic over a different transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me >= self.n`.
+    pub fn build_node(&self, me: u16) -> JoinNode {
+        assert!(me < self.n, "node id out of range");
+        let retained = ((self.domain / self.kappa.max(1)).max(1)) as usize;
+        let mut flow = self.flow_overrides.unwrap_or_default();
+        flow.target = self.target;
+        let cfg = RouterConfig {
+            me,
+            n: self.n,
+            domain: self.domain,
+            retained,
+            window: self.window,
+            flow,
+            seed: self.seed,
+            sync_sent_interval: self.sync_sent_interval,
+            sync_arrival_interval: self.sync_arrival_interval,
+            rho_refresh: self.rho_refresh,
+        };
+        let node = JoinNode::new(
+            self.algorithm,
+            cfg,
+            self.window_spec(),
+            (self.tuples as f64 * self.warmup) as u64,
+        );
+        match self.bandwidth_budget_bps {
+            Some(b) => node.with_bandwidth_budget(b),
+            None => node,
+        }
+    }
+
+    /// The deterministic arrival schedule this configuration runs — the
+    /// recorded trace when one is attached, otherwise the generated
+    /// workload.
+    pub fn arrivals(&self) -> Vec<Arrival> {
+        if let Some(trace) = &self.trace {
+            return trace.arrivals().to_vec();
+        }
+        let mut gen = ArrivalGen::new(
+            self.workload,
+            Partitioner::geographic(self.n, self.locality),
+            self.domain,
+            self.seed ^ 0x6E17,
+        );
+        gen.take_vec(self.tuples)
+    }
+
+    /// The exact (post warm-up) result-set size `|Ψ|` for this
+    /// configuration's workload.
+    pub fn ground_truth_matches(&self) -> u64 {
+        let dt_us = self.interarrival_us();
+        let warmup_seq = (self.tuples as f64 * self.warmup) as u64;
+        let mut truth = GroundTruth::new(self.n as usize, self.window_spec());
+        let mut total = 0u64;
+        for a in self.arrivals() {
+            let m = truth.observe(a.tuple(), a.seq * dt_us);
+            if a.seq >= warmup_seq {
+                total += m.total();
+            }
+        }
+        total
+    }
+
+    /// Finds the best operating point over a grid of message-complexity
+    /// targets: among runs reaching `target_epsilon`, the one with the
+    /// highest throughput; otherwise the run with the lowest error.
+    ///
+    /// Unlike [`ClusterConfig::run_at_epsilon`] this makes no monotonicity
+    /// assumption — under link saturation *more* messages can mean *worse*
+    /// error (queued results never arrive), which is exactly the regime of
+    /// the paper's throughput experiment (Figure 11).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from the underlying runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is empty.
+    pub fn run_best_effort(
+        &self,
+        target_epsilon: f64,
+        grid: &[f64],
+    ) -> Result<(ExperimentReport, f64), RunError> {
+        assert!(!grid.is_empty(), "grid must contain at least one target");
+        if self.algorithm == Algorithm::Base {
+            return Ok((self.run()?, (self.n - 1) as f64));
+        }
+        let mut best: Option<(ExperimentReport, f64)> = None;
+        for &t in grid {
+            let mut cfg = self.clone();
+            cfg.target = TargetComplexity::Constant(t);
+            let report = cfg.run()?;
+            let better = match &best {
+                None => true,
+                Some((b, _)) => {
+                    let b_ok = b.epsilon <= target_epsilon;
+                    let r_ok = report.epsilon <= target_epsilon;
+                    match (r_ok, b_ok) {
+                        (true, true) => report.throughput > b.throughput,
+                        (true, false) => true,
+                        (false, true) => false,
+                        (false, false) => report.epsilon < b.epsilon,
+                    }
+                }
+            };
+            if better {
+                best = Some((report, t));
+            }
+        }
+        Ok(best.expect("grid is non-empty"))
+    }
+}
+
+/// The measured outcome of one cluster experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Workload label ("UNI", "ZIPF", "FIN", "NWRK").
+    pub workload: String,
+    /// Cluster size.
+    pub n: u16,
+    /// Per-node window size.
+    pub window: usize,
+    /// Attribute domain.
+    pub domain: u32,
+    /// Compression factor.
+    pub kappa: u32,
+    /// Tuples injected.
+    pub tuples: usize,
+    /// Exact result-set size `|Ψ|` (post warm-up).
+    pub truth_matches: u64,
+    /// Reported result-set size `|Ψ̂|` (post warm-up).
+    pub reported_matches: u64,
+    /// ε = (|Ψ| − |Ψ̂|)/|Ψ| (Eqn. 1).
+    pub epsilon: f64,
+    /// Total messages transmitted.
+    pub messages: u64,
+    /// Tuple messages transmitted.
+    pub tuple_msgs: u64,
+    /// Standalone summary messages transmitted.
+    pub summary_msgs: u64,
+    /// Total bytes transmitted.
+    pub bytes: u64,
+    /// Tuple payload bytes (Figure 8 denominator).
+    pub data_bytes: u64,
+    /// Summary bytes (Figure 8 numerator).
+    pub overhead_bytes: u64,
+    /// overhead_bytes / data_bytes.
+    pub overhead_ratio: f64,
+    /// Messages per reported result tuple (Figure 9's metric).
+    pub messages_per_result: f64,
+    /// Average tuple messages per arriving tuple (the measured `T_i`).
+    pub msgs_per_tuple: f64,
+    /// Virtual seconds until the system drained.
+    pub duration_secs: f64,
+    /// Reported result tuples per virtual second (Figure 11's metric).
+    pub throughput: f64,
+    /// Fraction of arrivals routed by the worst-case fallback.
+    pub fallback_fraction: f64,
+    /// Total fallback activations across nodes.
+    pub fallback_events: u64,
+    /// Tuple arrivals per node (geographic skew shows up here).
+    pub per_node_arrivals: Vec<u64>,
+    /// Tuple messages sent per node.
+    pub per_node_sent: Vec<u64>,
+    /// Hottest node's arrivals over the per-node mean (1.0 = balanced).
+    pub load_imbalance: f64,
+    /// Messages lost in flight (lossy-link injection; 0 by default).
+    pub dropped_messages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(algorithm: Algorithm) -> ClusterConfig {
+        ClusterConfig::new(4, algorithm)
+            .window(256)
+            .domain(1 << 10)
+            .tuples(4_000)
+            .arrival_rate(500.0)
+            .seed(3)
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            ClusterConfig::new(1, Algorithm::Base).run().unwrap_err(),
+            RunError::TooFewNodes(1)
+        );
+        assert!(matches!(
+            quick(Algorithm::Dft).kappa(1 << 20).run().unwrap_err(),
+            RunError::KappaTooLarge { .. }
+        ));
+        assert_eq!(
+            quick(Algorithm::Dft).tuples(0).run().unwrap_err(),
+            RunError::NoTuples
+        );
+    }
+
+    #[test]
+    fn base_achieves_near_zero_error() {
+        let report = quick(Algorithm::Base).run().unwrap();
+        assert!(
+            report.epsilon < 0.05,
+            "broadcast should be near-exact: ε = {}",
+            report.epsilon
+        );
+        // N-1 = 3 messages per tuple.
+        assert!((report.msgs_per_tuple - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn dftt_beats_dft_in_messages_per_result() {
+        let dftt = quick(Algorithm::Dftt).run().unwrap();
+        let dft = quick(Algorithm::Dft).run().unwrap();
+        assert!(
+            dftt.messages_per_result < dft.messages_per_result,
+            "DFTT {} vs DFT {}",
+            dftt.messages_per_result,
+            dft.messages_per_result
+        );
+    }
+
+    #[test]
+    fn approximate_algorithms_send_fewer_messages_than_base() {
+        let base = quick(Algorithm::Base).run().unwrap();
+        for alg in [Algorithm::Dft, Algorithm::Dftt, Algorithm::Bloom, Algorithm::Sketch] {
+            let r = quick(alg).run().unwrap();
+            assert!(
+                r.messages < base.messages,
+                "{alg} sent {} >= BASE {}",
+                r.messages,
+                base.messages
+            );
+            assert!((0.0..=1.0).contains(&r.epsilon), "{alg} ε = {}", r.epsilon);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = quick(Algorithm::Dftt).run().unwrap();
+        let b = quick(Algorithm::Dftt).run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn build_node_matches_run_semantics() {
+        let cfg = quick(Algorithm::Dftt);
+        let node = cfg.build_node(2);
+        assert_eq!(node.id(), 2);
+        assert_eq!(node.metrics().arrivals, 0);
+        // The arrival schedule is deterministic and dense.
+        let arrivals = cfg.arrivals();
+        assert_eq!(arrivals.len(), cfg.tuples);
+        for (i, a) in arrivals.iter().enumerate() {
+            assert_eq!(a.seq, i as u64);
+            assert!(a.node < cfg.n);
+            assert!(a.key < cfg.domain);
+        }
+        assert_eq!(cfg.arrivals(), arrivals, "schedule is a pure function");
+    }
+
+    #[test]
+    fn ground_truth_matches_run_truth() {
+        let cfg = quick(Algorithm::Base);
+        let standalone = cfg.ground_truth_matches();
+        let report = cfg.run().unwrap();
+        assert_eq!(standalone, report.truth_matches);
+        assert!(standalone > 0);
+    }
+
+    #[test]
+    fn window_spec_reflects_time_mode() {
+        use dsj_stream::WindowSpec;
+        let count = quick(Algorithm::Base);
+        assert_eq!(count.window_spec(), WindowSpec::Count(256));
+        let timed = quick(Algorithm::Base).time_window(250);
+        assert_eq!(timed.window_spec(), WindowSpec::Time(250_000));
+    }
+
+    #[test]
+    fn best_effort_picks_feasible_operating_point() {
+        let grid = [0.5, 1.0, 3.0];
+        let (report, target) = quick(Algorithm::Dftt)
+            .run_best_effort(0.5, &grid)
+            .unwrap();
+        assert!(grid.contains(&target));
+        // Either feasible, or the least-bad point was chosen.
+        assert!((0.0..=1.0).contains(&report.epsilon));
+        // BASE needs no grid.
+        let (base, t) = quick(Algorithm::Base).run_best_effort(0.5, &grid).unwrap();
+        assert_eq!(t, 3.0);
+        assert!(base.epsilon < 0.1);
+    }
+
+    #[test]
+    fn trace_replay_reproduces_generated_run() {
+        use dsj_stream::trace::Trace;
+        let cfg = quick(Algorithm::Dftt);
+        let generated = cfg.run().unwrap();
+        // Record the exact schedule the config generates and replay it.
+        let trace = Trace::from_arrivals(cfg.arrivals());
+        let replayed = quick(Algorithm::Dftt).with_trace(trace).run().unwrap();
+        assert_eq!(generated, replayed, "a trace replay is bit-identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "trace node")]
+    fn trace_with_foreign_nodes_rejected() {
+        use dsj_stream::gen::Arrival;
+        use dsj_stream::trace::Trace;
+        use dsj_stream::StreamId;
+        let trace = Trace::from_arrivals(vec![Arrival {
+            stream: StreamId::R,
+            key: 1,
+            seq: 0,
+            node: 99,
+        }]);
+        let _ = quick(Algorithm::Base).with_trace(trace);
+    }
+
+    #[test]
+    fn bandwidth_governor_throttles_messages() {
+        // LogN budget, but a tight per-node allowance: the governor must
+        // shave messages (and accuracy) versus the ungoverned run.
+        let free = quick(Algorithm::Dft)
+            .target(crate::TargetComplexity::LogN)
+            .run()
+            .unwrap();
+        let capped = quick(Algorithm::Dft)
+            .target(crate::TargetComplexity::LogN)
+            .bandwidth_budget(20_000) // ~125 tuple msgs/s vs 500 arrivals/s
+            .run()
+            .unwrap();
+        assert!(
+            capped.msgs_per_tuple < 0.8 * free.msgs_per_tuple,
+            "governor must shed load: {} vs {}",
+            capped.msgs_per_tuple,
+            free.msgs_per_tuple
+        );
+        assert!(capped.epsilon >= free.epsilon, "shedding costs accuracy");
+    }
+
+    #[test]
+    fn interarrival_matches_rate() {
+        let cfg = quick(Algorithm::Base).arrival_rate(500.0); // 4 nodes
+        // 2000 tuples/s aggregate → 500 µs between arrivals.
+        assert_eq!(cfg.interarrival_us(), 500);
+    }
+
+    #[test]
+    fn calibration_reaches_or_reports_best() {
+        let (report, target) = quick(Algorithm::Dftt).run_at_epsilon(0.5).unwrap();
+        assert!(target > 0.0);
+        // Either the target error was reached, or the maximum budget ran.
+        assert!(report.epsilon <= 0.5 || (target - 3.0).abs() < 1e-9);
+    }
+}

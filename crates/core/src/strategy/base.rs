@@ -1,0 +1,45 @@
+//! BASE: the exact broadcast baseline (Section 5.1).
+//!
+//! Every arriving tuple is forwarded to all `N−1` peers — complete results
+//! at `O(N)` message complexity per tuple, `O(N²)` system-wide.
+
+use super::{peers_of, Route, RouterConfig};
+
+/// Broadcast router.
+#[derive(Debug)]
+pub(crate) struct BaseRouter {
+    me: u16,
+    n: u16,
+}
+
+impl BaseRouter {
+    /// Creates the broadcast router.
+    pub fn new(cfg: RouterConfig) -> Self {
+        BaseRouter {
+            me: cfg.me,
+            n: cfg.n,
+        }
+    }
+
+    /// Routes to every peer.
+    pub fn route(&self) -> Route {
+        Route {
+            peers: peers_of(self.me, self.n).collect(),
+            fallback: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_config;
+    use super::*;
+
+    #[test]
+    fn broadcasts_to_all_peers() {
+        let r = BaseRouter::new(test_config(1, 4));
+        let route = r.route();
+        assert_eq!(route.peers, vec![0, 2, 3]);
+        assert!(!route.fallback);
+    }
+}

@@ -1,0 +1,555 @@
+//! DFT and DFTT routing (Sections 5.2–5.3, Fig. 7).
+//!
+//! Each node incrementally maintains the DFT coefficient prefix of its two
+//! windows' join-attribute distributions ([`PointDft`]) and gossips the
+//! prefix to peers — piggy-backed on tuple messages where possible,
+//! standalone when overdue. From the local and remote prefixes the router
+//! computes the cross-correlation coefficient `ρ_{i,j}` (Eqn. 4) and
+//! forwards a tuple to peer `j` with probability `w_i·ρ_{i,j}` bounded by
+//! the configured message-complexity target (Eqn. 9).
+//!
+//! With `tuple_testing` enabled (**DFTT**), the router additionally
+//! reconstructs every remote window's attribute multiset by inverse DFT +
+//! rounding (Eqn. 10) and forwards a tuple *only* to the sites whose
+//! reconstruction shows at least one join partner for its key — the
+//! `JoinEstimate`/`ChooseSite` steps of Fig. 7. When no site qualifies, a
+//! small exploration probability keeps routing honest against stale
+//! summaries.
+//!
+//! A near-zero variance across the `ρ_{i,j}` is the uniform-data worst
+//! case (Theorems 1/2); the router then falls back to round-robin, as the
+//! paper prescribes.
+
+use super::{peers_of, Route, RouterConfig, SyncState};
+use crate::flow::{detect_uniform, forwarding_probabilities, sample_recipients, RoundRobin};
+use crate::msg::{CoeffUpdate, SummaryPayload};
+use dsj_dft::sliding::PointDft;
+use dsj_dft::spectrum::cross_correlation_coefficient;
+use dsj_dft::{Complex64, CompressedDft, ControlVector};
+use dsj_stream::StreamId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Minimum absolute coefficient change worth piggy-backing on a tuple
+/// message; combined with a relative component so large-magnitude bins
+/// (e.g. DC) only ship when they moved materially.
+const PIGGYBACK_TAU_ABS: f64 = 32.0;
+/// Relative component of the piggyback threshold.
+const PIGGYBACK_TAU_REL: f64 = 0.25;
+/// Minimum local arrivals between piggybacks to the same peer — caps the
+/// steady-state coefficient overhead at a small fraction of the tuple
+/// data, the regime Figure 8 reports.
+const PIGGYBACK_GAP: u64 = 192;
+
+/// Router for the DFT (flow filtering) and DFTT (flow filtering + tuple
+/// matching) algorithms.
+#[derive(Debug)]
+pub(crate) struct DftRouter {
+    cfg: RouterConfig,
+    tuple_testing: bool,
+    /// Local window-histogram DFTs, indexed by [`StreamId::index`].
+    local: [PointDft; 2],
+    /// Remote coefficient prefixes: `remote[peer][stream]`.
+    remote: Vec<[Option<Vec<Complex64>>; 2]>,
+    /// What each peer last received of our coefficients.
+    snapshot: Vec<[Option<Vec<Complex64>>; 2]>,
+    /// Reconstructed remote histograms (DFTT only).
+    recon: Vec<[Option<Vec<f64>>; 2]>,
+    /// Cached `ρ` per peer per *tuple* stream (correlating `local[s]`
+    /// against `remote[peer][s.opposite()]`).
+    rho: Vec<[Option<f64>; 2]>,
+    rho_stale: Vec<[bool; 2]>,
+    arrivals_since_rho: u32,
+    arrivals: u64,
+    last_piggyback: Vec<u64>,
+    sync: SyncState,
+    rr: RoundRobin,
+    fallback_events: u64,
+}
+
+impl DftRouter {
+    /// Creates the router; `tuple_testing` selects DFTT over plain DFT.
+    pub fn new(cfg: RouterConfig, tuple_testing: bool) -> Self {
+        let n = cfg.n as usize;
+        let domain = cfg.domain as usize;
+        let k = cfg.retained.min(domain).max(1);
+        // Floating-point drift over experiment-scale update counts is
+        // ~1e-11 of a count and cannot affect rounding decisions, so the
+        // routers skip periodic exact recomputation; the control-vector
+        // trade-off itself is exercised by the Table 1 benchmarks.
+        let mk = || PointDft::new(domain, k, ControlVector::never());
+        DftRouter {
+            tuple_testing,
+            local: [mk(), mk()],
+            remote: vec![[None, None]; n],
+            snapshot: vec![[None, None]; n],
+            recon: vec![[None, None]; n],
+            rho: vec![[None, None]; n],
+            rho_stale: vec![[true, true]; n],
+            arrivals_since_rho: 0,
+            arrivals: 0,
+            last_piggyback: vec![0; n],
+            sync: SyncState::new(
+                cfg.n,
+                cfg.sync_sent_interval,
+                cfg.sync_arrival_interval,
+                cfg.window,
+            ),
+            rr: RoundRobin::new(),
+            fallback_events: 0,
+            cfg,
+        }
+    }
+
+    /// Sync bookkeeping (shared accessor).
+    pub fn sync(&self) -> &SyncState {
+        &self.sync
+    }
+
+    /// Sync bookkeeping, mutable.
+    pub fn sync_mut(&mut self) -> &mut SyncState {
+        &mut self.sync
+    }
+
+    /// Times the worst-case fallback fired.
+    pub fn fallback_events(&self) -> u64 {
+        self.fallback_events
+    }
+
+    /// Applies a local window change.
+    pub fn local_update(&mut self, stream: StreamId, added: u32, evicted: &[u32]) {
+        let s = stream.index();
+        self.local[s].add(added as usize, 1.0);
+        for &e in evicted {
+            self.local[s].add(e as usize, -1.0);
+        }
+        self.arrivals += 1;
+        self.arrivals_since_rho += 1;
+        if self.arrivals_since_rho >= self.cfg.rho_refresh {
+            self.arrivals_since_rho = 0;
+            for flags in &mut self.rho_stale {
+                *flags = [true, true];
+            }
+        }
+    }
+
+    /// Number of low-frequency bins used for the correlation coefficient.
+    /// Smoothing ρ to coarse resolution makes the uniform-data detector
+    /// robust to sparse-window noise; the full prefix still serves
+    /// reconstruction.
+    const RHO_SMOOTH_BINS: usize = 16;
+
+    fn refresh_rho(&mut self, stream: StreamId) {
+        let s = stream.index();
+        let opp = stream.opposite().index();
+        for j in 0..self.cfg.n as usize {
+            if j == self.cfg.me as usize || !self.rho_stale[j][s] {
+                continue;
+            }
+            self.rho[j][s] = self.remote[j][opp].as_ref().map(|coeffs| {
+                let k = coeffs.len().min(Self::RHO_SMOOTH_BINS);
+                cross_correlation_coefficient(
+                    &self.local[s].coefficients()[..k],
+                    &coeffs[..k],
+                    self.cfg.domain as usize,
+                )
+            });
+            self.rho_stale[j][s] = false;
+        }
+    }
+
+    /// Routes one arriving tuple.
+    pub fn route(
+        &mut self,
+        stream: StreamId,
+        key: u32,
+        scale: f64,
+        rng: &mut StdRng,
+    ) -> Route {
+        let target = (self.cfg.flow.target.target(self.cfg.n) * scale)
+            .clamp(0.0, (self.cfg.n - 1) as f64);
+        self.refresh_rho(stream);
+        let peers: Vec<u16> = peers_of(self.cfg.me, self.cfg.n).collect();
+        let rhos: Vec<Option<f64>> = peers
+            .iter()
+            .map(|&j| self.rho[j as usize][stream.index()])
+            .collect();
+
+        // Uniform-data detection (Section 5.2.2): when the window-level
+        // correlations are indistinguishable, neither ρ-weighted flow
+        // filtering nor the membership reconstructions (flat histograms)
+        // carry signal — fall back to round-robin. Membership tests still
+        // take precedence whenever the correlations *do* spread.
+        let uniform = detect_uniform(&rhos, self.cfg.flow.uniform_cv_threshold);
+
+        if self.tuple_testing && !uniform {
+            let opp = stream.opposite().index();
+            let mut candidates: Vec<(u16, f64)> = peers
+                .iter()
+                .filter_map(|&j| {
+                    let est = self.recon[j as usize][opp].as_ref()?[key as usize];
+                    (est >= 0.5).then_some((j, est))
+                })
+                .collect();
+            let any_recon = peers
+                .iter()
+                .any(|&j| self.recon[j as usize][opp].is_some());
+            if !candidates.is_empty() {
+                candidates
+                    .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("estimates are finite"));
+                let take = (target.ceil() as usize).max(1);
+                let mut picked: Vec<u16> =
+                    candidates.into_iter().take(take).map(|(j, _)| j).collect();
+                // Budget beyond the membership hits buys correlation-routed
+                // coverage of sites the (lossy) reconstruction may miss —
+                // how DFTT trades extra messages for lower ε (Fig. 9).
+                let leftover = target - picked.len() as f64;
+                if leftover > 0.05 {
+                    let residual: Vec<Option<f64>> = peers
+                        .iter()
+                        .zip(&rhos)
+                        .map(|(&j, r)| if picked.contains(&j) { Some(0.0) } else { *r })
+                        .collect();
+                    if let Some(probs) = forwarding_probabilities(&residual, leftover) {
+                        picked.extend(
+                            sample_recipients(&probs, rng).into_iter().map(|i| peers[i]),
+                        );
+                        picked.sort_unstable();
+                        picked.dedup();
+                    }
+                }
+                return Route {
+                    peers: picked,
+                    fallback: false,
+                };
+            }
+            // The suppression confidence relaxes with the message budget:
+            // at T = N−1 the caller asked for broadcast coverage, so "no
+            // candidate" must not drop tuples; at T = 1 suppression is the
+            // whole win.
+            let frac = ((target - 1.0) / ((self.cfg.n as f64) - 2.0).max(1.0)).clamp(0.0, 1.0);
+            let explore_eff =
+                (self.cfg.flow.explore + frac * (1.0 - self.cfg.flow.explore)).min(1.0);
+            if any_recon && !rng.gen_bool(explore_eff) {
+                // Every reconstruction says "no partners anywhere": save
+                // the messages (the DFTT advantage of Fig. 9).
+                return Route::default();
+            }
+        }
+
+        if uniform {
+            return self.fallback(target);
+        }
+
+        match forwarding_probabilities(&rhos, target) {
+            Some(probs) => Route {
+                peers: sample_recipients(&probs, rng)
+                    .into_iter()
+                    .map(|idx| peers[idx])
+                    .collect(),
+                fallback: false,
+            },
+            None => self.fallback(target),
+        }
+    }
+
+    fn fallback(&mut self, target: f64) -> Route {
+        self.fallback_events += 1;
+        let count = (target.round() as usize).max(1);
+        Route {
+            peers: self.rr.pick(self.cfg.me, self.cfg.n, count),
+            fallback: true,
+        }
+    }
+
+    /// Ingests a peer's coefficient updates.
+    pub fn apply_summary(&mut self, from: u16, payload: &SummaryPayload) {
+        let SummaryPayload::Dft {
+            stream, updates, ..
+        } = payload
+        else {
+            debug_assert!(false, "DFT router received a non-DFT summary");
+            return;
+        };
+        let j = from as usize;
+        let s = stream.index();
+        let k = self.cfg.retained;
+        let coeffs = self.remote[j][s].get_or_insert_with(|| vec![Complex64::ZERO; k]);
+        for u in updates {
+            if (u.index as usize) < coeffs.len() {
+                coeffs[u.index as usize] = u.value;
+            }
+        }
+        // Tuples of the *opposite* stream correlate against this summary.
+        self.rho_stale[j][stream.opposite().index()] = true;
+        if self.tuple_testing {
+            self.recon[j][s] = Some(
+                CompressedDft::from_prefix(coeffs.clone(), self.cfg.domain as usize)
+                    .reconstruct(),
+            );
+        }
+    }
+
+    /// Full refresh of both streams' coefficients for `peer`.
+    pub fn full_summaries(&mut self, peer: u16) -> Vec<SummaryPayload> {
+        let mut out = Vec::new();
+        for stream in StreamId::BOTH {
+            let s = stream.index();
+            let cur = self.local[s].coefficients();
+            let snap = &mut self.snapshot[peer as usize][s];
+            let updates: Vec<CoeffUpdate> = match snap {
+                Some(prev) => cur
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, c)| (*c - prev[i]).abs() > 1e-9)
+                    .map(|(i, c)| CoeffUpdate {
+                        index: i as u16,
+                        value: *c,
+                    })
+                    .collect(),
+                None => cur
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| CoeffUpdate {
+                        index: i as u16,
+                        value: *c,
+                    })
+                    .collect(),
+            };
+            *snap = Some(cur.to_vec());
+            if !updates.is_empty() {
+                out.push(SummaryPayload::Dft {
+                    stream,
+                    signal_len: self.cfg.domain,
+                    updates,
+                });
+            }
+        }
+        self.sync.reset(peer);
+        out
+    }
+
+    /// A minimal piggyback delta: the single most-changed coefficient
+    /// across both streams, when it moved past the (absolute + relative)
+    /// threshold. Keeping this to one coefficient per tuple message holds
+    /// the coefficient overhead at a few percent of the net data, the
+    /// regime Figure 8 reports.
+    pub fn piggyback(&mut self, peer: u16) -> Vec<SummaryPayload> {
+        if self.arrivals.saturating_sub(self.last_piggyback[peer as usize]) < PIGGYBACK_GAP {
+            return Vec::new();
+        }
+        let mut best: Option<(StreamId, usize, f64)> = None;
+        for stream in StreamId::BOTH {
+            let s = stream.index();
+            let Some(snap) = self.snapshot[peer as usize][s].as_ref() else {
+                continue; // never fully synced: piggyback would be partial state
+            };
+            let cur = self.local[s].coefficients();
+            for (i, c) in cur.iter().enumerate() {
+                let delta = (*c - snap[i]).abs();
+                let tau = PIGGYBACK_TAU_ABS + PIGGYBACK_TAU_REL * snap[i].abs();
+                if delta > tau && best.map_or(true, |(_, _, d)| delta > d) {
+                    best = Some((stream, i, delta));
+                }
+            }
+        }
+        let Some((stream, i, _)) = best else {
+            return Vec::new();
+        };
+        self.last_piggyback[peer as usize] = self.arrivals;
+        let s = stream.index();
+        let value = self.local[s].coefficients()[i];
+        self.snapshot[peer as usize][s]
+            .as_mut()
+            .expect("snapshot exists for chosen stream")[i] = value;
+        vec![SummaryPayload::Dft {
+            stream,
+            signal_len: self.cfg.domain,
+            updates: vec![CoeffUpdate {
+                index: i as u16,
+                value,
+            }],
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_config;
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    /// Fills a router's local S window with `keys`.
+    fn fill(r: &mut DftRouter, stream: StreamId, keys: &[u32]) {
+        for &k in keys {
+            r.local_update(stream, k, &[]);
+        }
+    }
+
+    /// Wires `src`'s summaries into `dst` as if exchanged over the network.
+    fn exchange(src: &mut DftRouter, src_id: u16, dst: &mut DftRouter) {
+        for p in src.full_summaries(dst.cfg.me) {
+            dst.apply_summary(src_id, &p);
+        }
+    }
+
+    #[test]
+    fn dftt_targets_matching_site() {
+        // Node 0 routes R tuples; node 1 has S window full of key 10,
+        // node 2 has S window full of key 200.
+        let mut n0 = DftRouter::new(test_config(0, 3), true);
+        let mut n1 = DftRouter::new(test_config(1, 3), true);
+        let mut n2 = DftRouter::new(test_config(2, 3), true);
+        fill(&mut n1, StreamId::S, &vec![10; 40]);
+        fill(&mut n2, StreamId::S, &vec![200; 40]);
+        fill(&mut n0, StreamId::R, &(0..40).map(|i| i % 20).collect::<Vec<_>>());
+        exchange(&mut n1, 1, &mut n0);
+        exchange(&mut n2, 2, &mut n0);
+
+        let mut rng = rng();
+        let route = n0.route(StreamId::R, 10, 1.0, &mut rng);
+        assert_eq!(route.peers, vec![1], "key 10 lives only at node 1");
+        let route = n0.route(StreamId::R, 200, 1.0, &mut rng);
+        assert_eq!(route.peers, vec![2], "key 200 lives only at node 2");
+    }
+
+    #[test]
+    fn dftt_suppresses_hopeless_tuples() {
+        let mut n0 = DftRouter::new(test_config(0, 3), true);
+        let mut n1 = DftRouter::new(test_config(1, 3), true);
+        let mut n2 = DftRouter::new(test_config(2, 3), true);
+        fill(&mut n1, StreamId::S, &vec![10; 40]);
+        fill(&mut n2, StreamId::S, &vec![200; 40]);
+        fill(&mut n0, StreamId::R, &vec![10; 40]);
+        exchange(&mut n1, 1, &mut n0);
+        exchange(&mut n2, 2, &mut n0);
+        let mut rng = rng();
+        // Key 100 joins nowhere: almost every route should be empty
+        // (modulo the 5% exploration rate).
+        let empty = (0..200)
+            .filter(|_| n0.route(StreamId::R, 100, 1.0, &mut rng).peers.is_empty())
+            .count();
+        assert!(empty > 170, "only {empty}/200 suppressed");
+    }
+
+    #[test]
+    fn dft_prefers_correlated_peer() {
+        // Node 1's S window matches node 0's R window distribution;
+        // node 2's does not.
+        let mut n0 = DftRouter::new(test_config(0, 3), false);
+        let mut n1 = DftRouter::new(test_config(1, 3), false);
+        let mut n2 = DftRouter::new(test_config(2, 3), false);
+        let hot: Vec<u32> = (0..60).map(|i| i % 8).collect();
+        let cold: Vec<u32> = (0..60).map(|i| 200 + (i % 8)).collect();
+        fill(&mut n0, StreamId::R, &hot);
+        fill(&mut n1, StreamId::S, &hot);
+        fill(&mut n2, StreamId::S, &cold);
+        exchange(&mut n1, 1, &mut n0);
+        exchange(&mut n2, 2, &mut n0);
+        let mut rng = rng();
+        let mut to1 = 0;
+        let mut to2 = 0;
+        for _ in 0..500 {
+            let route = n0.route(StreamId::R, 3, 1.0, &mut rng);
+            assert!(!route.fallback, "correlations are strongly skewed");
+            to1 += route.peers.iter().filter(|&&p| p == 1).count();
+            to2 += route.peers.iter().filter(|&&p| p == 2).count();
+        }
+        assert!(
+            to1 > 5 * to2.max(1),
+            "correlated peer should dominate: {to1} vs {to2}"
+        );
+    }
+
+    #[test]
+    fn uniform_windows_trigger_fallback() {
+        // All three nodes hold statistically identical (flat) windows.
+        let mut n0 = DftRouter::new(test_config(0, 3), false);
+        let mut n1 = DftRouter::new(test_config(1, 3), false);
+        let mut n2 = DftRouter::new(test_config(2, 3), false);
+        let flat: Vec<u32> = (0..256).collect();
+        fill(&mut n0, StreamId::R, &flat);
+        fill(&mut n1, StreamId::S, &flat);
+        fill(&mut n2, StreamId::S, &flat);
+        exchange(&mut n1, 1, &mut n0);
+        exchange(&mut n2, 2, &mut n0);
+        let mut rng = rng();
+        let route = n0.route(StreamId::R, 9, 1.0, &mut rng);
+        assert!(route.fallback, "identical windows are the worst case");
+        assert_eq!(route.peers.len(), 1, "T=1 round robin");
+        assert!(n0.fallback_events() > 0);
+    }
+
+    #[test]
+    fn unknown_peers_get_blind_routing() {
+        let mut n0 = DftRouter::new(test_config(0, 5), false);
+        fill(&mut n0, StreamId::R, &[1, 2, 3, 4]);
+        let mut rng = rng();
+        let mut total = 0;
+        for _ in 0..400 {
+            total += n0.route(StreamId::R, 2, 1.0, &mut rng).peers.len();
+        }
+        let avg = total as f64 / 400.0;
+        assert!((0.5..1.5).contains(&avg), "blind routing ≈ target: {avg}");
+    }
+
+    #[test]
+    fn full_summary_is_delta_after_first() {
+        let mut r = DftRouter::new(test_config(0, 2), false);
+        fill(&mut r, StreamId::R, &[5, 5, 5]);
+        let first = r.full_summaries(1);
+        // R has content, S is empty (all-zero coefficients skipped? no —
+        // first sync sends everything including zeros for S).
+        assert_eq!(first.len(), 2);
+        let SummaryPayload::Dft { updates, .. } = &first[0] else {
+            panic!("expected DFT payload")
+        };
+        assert_eq!(updates.len(), 32, "first sync ships the full prefix");
+        // No change ⇒ no updates.
+        let second = r.full_summaries(1);
+        assert!(second.is_empty());
+        // One more arrival ⇒ small delta.
+        r.local_update(StreamId::R, 7, &[]);
+        let third = r.full_summaries(1);
+        assert_eq!(third.len(), 1);
+        let SummaryPayload::Dft { updates, .. } = &third[0] else {
+            panic!("expected DFT payload")
+        };
+        assert!(!updates.is_empty() && updates.len() <= 32);
+    }
+
+    #[test]
+    fn piggyback_requires_prior_sync_and_big_change() {
+        let mut r = DftRouter::new(test_config(0, 2), false);
+        fill(&mut r, StreamId::R, &[5; 200]);
+        assert!(r.piggyback(1).is_empty(), "no snapshot yet");
+        let _ = r.full_summaries(1);
+        assert!(r.piggyback(1).is_empty(), "nothing changed since sync");
+        fill(&mut r, StreamId::R, &[9; 200]);
+        let pb = r.piggyback(1);
+        assert_eq!(pb.len(), 1, "one stream changed beyond tau");
+        let SummaryPayload::Dft { updates, .. } = &pb[0] else {
+            panic!("expected DFT payload")
+        };
+        assert_eq!(updates.len(), 1, "piggyback ships a single coefficient");
+    }
+
+    #[test]
+    fn reconstruction_tracks_remote_window() {
+        let mut n0 = DftRouter::new(test_config(0, 2), true);
+        let mut n1 = DftRouter::new(test_config(1, 2), true);
+        // A smooth-ish window: keys concentrated in one region.
+        let keys: Vec<u32> = (0..64).map(|i| 40 + (i % 5)).collect();
+        fill(&mut n1, StreamId::S, &keys);
+        exchange(&mut n1, 1, &mut n0);
+        let recon = n0.recon[1][StreamId::S.index()].as_ref().unwrap();
+        // Keys present ~12.8 times each reconstruct to large estimates.
+        for k in 40..45 {
+            assert!(recon[k] > 0.5, "bucket {k} = {}", recon[k]);
+        }
+    }
+}

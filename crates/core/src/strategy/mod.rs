@@ -1,0 +1,376 @@
+//! Routing strategies: the five algorithms compared in Section 6.
+//!
+//! Every strategy answers the same question — *which peers should this
+//! arriving tuple be forwarded to?* — from different summaries:
+//!
+//! | Algorithm | Summary exchanged | Per-tuple signal |
+//! |---|---|---|
+//! | [`Algorithm::Base`]   | none                   | broadcast |
+//! | [`Algorithm::Dft`]    | DFT coefficient prefix | window-level correlation `ρ` |
+//! | [`Algorithm::Dftt`]   | DFT coefficient prefix | per-key membership via inverse-DFT reconstruction |
+//! | [`Algorithm::Bloom`]  | counting Bloom filter  | per-key membership (false positives) |
+//! | [`Algorithm::Sketch`] | AGMS sketch            | partition-pair join-size estimate |
+//!
+//! Summary sizes are equalized: `K` retained DFT coefficients occupy
+//! `16·K` bytes, so Bloom filters get `4·K` counters and sketches `2·K`
+//! `i64` counters, as in the paper's methodology.
+
+mod base;
+mod bloom;
+mod dft;
+mod sketch;
+
+pub(crate) use base::BaseRouter;
+pub(crate) use bloom::BloomRouter;
+pub(crate) use dft::DftRouter;
+pub(crate) use sketch::SketchRouter;
+
+use crate::flow::FlowParams;
+use crate::msg::SummaryPayload;
+use dsj_stream::StreamId;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The distributed join algorithm a cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Exact broadcast baseline (`N−1` messages per tuple).
+    Base,
+    /// DFT flow filtering (correlation-weighted probabilistic forwarding).
+    Dft,
+    /// DFT flow filtering + tuple matching against reconstructed remote
+    /// windows (the paper's best performer).
+    Dftt,
+    /// Counting-Bloom-filter membership routing.
+    Bloom,
+    /// AGMS-sketch join-size-weighted routing.
+    Sketch,
+}
+
+impl Algorithm {
+    /// All five algorithms, in the paper's comparison order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Base,
+        Algorithm::Dft,
+        Algorithm::Dftt,
+        Algorithm::Bloom,
+        Algorithm::Sketch,
+    ];
+
+    /// The paper's label for this algorithm.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Base => "BASE",
+            Algorithm::Dft => "DFT",
+            Algorithm::Dftt => "DFTT",
+            Algorithm::Bloom => "BLOOM",
+            Algorithm::Sketch => "SKCH",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-node configuration shared by all routers.
+#[derive(Debug, Clone)]
+pub(crate) struct RouterConfig {
+    /// This node's id.
+    pub me: u16,
+    /// Cluster size.
+    pub n: u16,
+    /// Join-attribute domain size `D`.
+    pub domain: u32,
+    /// Retained DFT coefficients `K = D/κ` (also sizes Bloom/sketch
+    /// summaries: `16·K` bytes each).
+    pub retained: usize,
+    /// Per-stream window size `W`.
+    pub window: usize,
+    /// Flow-control parameters.
+    pub flow: FlowParams,
+    /// Cluster-wide seed (keys sketch/Bloom hash families so summaries
+    /// from different nodes are comparable).
+    pub seed: u64,
+    /// Refresh a peer's summary after this many tuple messages to it.
+    pub sync_sent_interval: u32,
+    /// ... or after this many local arrivals, whichever comes first.
+    pub sync_arrival_interval: u32,
+    /// Recompute cached correlations every this many arrivals.
+    pub rho_refresh: u32,
+}
+
+/// A routing decision for one arriving tuple.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Route {
+    /// Peers to forward the tuple to.
+    pub peers: Vec<u16>,
+    /// Whether the worst-case fallback policy produced this route.
+    pub fallback: bool,
+}
+
+/// Summary-synchronization bookkeeping shared by the summary-bearing
+/// strategies: a peer's copy of our summary is refreshed after enough
+/// tuple messages have been sent to it, after enough local arrivals, or
+/// immediately at bootstrap.
+#[derive(Debug, Clone)]
+pub(crate) struct SyncState {
+    sent_since: Vec<u32>,
+    arrivals_since: Vec<u32>,
+    synced_once: Vec<bool>,
+    sent_interval: u32,
+    arrival_interval: u32,
+    bootstrap_after: u32,
+}
+
+impl SyncState {
+    pub fn new(n: u16, sent_interval: u32, arrival_interval: u32, window: usize) -> Self {
+        SyncState {
+            sent_since: vec![0; n as usize],
+            arrivals_since: vec![0; n as usize],
+            synced_once: vec![false; n as usize],
+            sent_interval: sent_interval.max(1),
+            arrival_interval: arrival_interval.max(1),
+            bootstrap_after: (window as u32 / 4).clamp(8, 512),
+        }
+    }
+
+    /// Notes one local tuple arrival (advances all peers' staleness).
+    pub fn note_arrival(&mut self) {
+        for a in &mut self.arrivals_since {
+            *a = a.saturating_add(1);
+        }
+    }
+
+    /// Notes a tuple message sent to `peer`.
+    pub fn note_sent(&mut self, peer: u16) {
+        self.sent_since[peer as usize] = self.sent_since[peer as usize].saturating_add(1);
+    }
+
+    /// `true` when `peer`'s copy of our summary should be refreshed now.
+    pub fn due(&self, peer: u16) -> bool {
+        let p = peer as usize;
+        if !self.synced_once[p] {
+            return self.arrivals_since[p] >= self.bootstrap_after;
+        }
+        self.sent_since[p] >= self.sent_interval
+            || self.arrivals_since[p] >= self.arrival_interval
+    }
+
+    /// `true` when `peer` is overdue enough to justify a standalone
+    /// summary message (no tuple message carried one in time).
+    pub fn overdue(&self, peer: u16) -> bool {
+        let p = peer as usize;
+        if !self.synced_once[p] {
+            return self.arrivals_since[p] >= 2 * self.bootstrap_after;
+        }
+        self.arrivals_since[p] >= 2 * self.arrival_interval
+    }
+
+    /// Marks `peer` as freshly synchronized.
+    pub fn reset(&mut self, peer: u16) {
+        let p = peer as usize;
+        self.sent_since[p] = 0;
+        self.arrivals_since[p] = 0;
+        self.synced_once[p] = true;
+    }
+}
+
+/// Enum-dispatched router: one variant per algorithm family.
+#[derive(Debug)]
+pub(crate) enum Router {
+    Base(BaseRouter),
+    Dft(Box<DftRouter>),
+    Bloom(Box<BloomRouter>),
+    Sketch(Box<SketchRouter>),
+}
+
+impl Router {
+    /// Builds the router for `algorithm`.
+    pub fn new(algorithm: Algorithm, cfg: RouterConfig) -> Self {
+        match algorithm {
+            Algorithm::Base => Router::Base(BaseRouter::new(cfg)),
+            Algorithm::Dft => Router::Dft(Box::new(DftRouter::new(cfg, false))),
+            Algorithm::Dftt => Router::Dft(Box::new(DftRouter::new(cfg, true))),
+            Algorithm::Bloom => Router::Bloom(Box::new(BloomRouter::new(cfg))),
+            Algorithm::Sketch => Router::Sketch(Box::new(SketchRouter::new(cfg))),
+        }
+    }
+
+    /// Records a local window change: `added` entered `stream`'s window,
+    /// `evicted` left it.
+    pub fn local_update(&mut self, stream: StreamId, added: u32, evicted: &[u32]) {
+        match self {
+            Router::Base(_) => {}
+            Router::Dft(r) => r.local_update(stream, added, evicted),
+            Router::Bloom(r) => r.local_update(stream, added, evicted),
+            Router::Sketch(r) => r.local_update(stream, added, evicted),
+        }
+    }
+
+    /// Decides where to forward an arriving tuple of `stream` with join
+    /// attribute `key`. `scale` multiplies the configured message-complexity
+    /// target (the throughput governor's resource-availability dial;
+    /// `1.0` = nominal budget).
+    pub fn route(&mut self, stream: StreamId, key: u32, scale: f64, rng: &mut StdRng) -> Route {
+        match self {
+            Router::Base(r) => r.route(),
+            Router::Dft(r) => r.route(stream, key, scale, rng),
+            Router::Bloom(r) => r.route(stream, key, scale, rng),
+            Router::Sketch(r) => r.route(stream, key, scale, rng),
+        }
+    }
+
+    /// Ingests a summary received from `from`.
+    pub fn apply_summary(&mut self, from: u16, payload: &SummaryPayload) {
+        match self {
+            Router::Base(_) => {}
+            Router::Dft(r) => r.apply_summary(from, payload),
+            Router::Bloom(r) => r.apply_summary(from, payload),
+            Router::Sketch(r) => r.apply_summary(from, payload),
+        }
+    }
+
+    /// Notes a local arrival for sync bookkeeping.
+    pub fn note_arrival(&mut self) {
+        if let Some(s) = self.sync_mut() {
+            s.note_arrival();
+        }
+    }
+
+    /// Notes a tuple message sent to `peer`.
+    pub fn note_sent(&mut self, peer: u16) {
+        if let Some(s) = self.sync_mut() {
+            s.note_sent(peer);
+        }
+    }
+
+    /// `true` when `peer` should receive a summary refresh on the next
+    /// tuple message to it.
+    pub fn sync_due(&self, peer: u16) -> bool {
+        self.sync_ref().is_some_and(|s| s.due(peer))
+    }
+
+    /// `true` when `peer` warrants a standalone summary message.
+    pub fn sync_overdue(&self, peer: u16) -> bool {
+        self.sync_ref().is_some_and(|s| s.overdue(peer))
+    }
+
+    /// Produces the full summary refresh for `peer` and marks it synced.
+    pub fn full_summaries(&mut self, peer: u16) -> Vec<SummaryPayload> {
+        match self {
+            Router::Base(_) => Vec::new(),
+            Router::Dft(r) => r.full_summaries(peer),
+            Router::Bloom(r) => r.full_summaries(peer),
+            Router::Sketch(r) => r.full_summaries(peer),
+        }
+    }
+
+    /// Produces a small piggyback delta for `peer` (DFT-family only).
+    pub fn piggyback(&mut self, peer: u16) -> Vec<SummaryPayload> {
+        match self {
+            Router::Dft(r) => r.piggyback(peer),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Number of times the worst-case fallback policy fired.
+    pub fn fallback_events(&self) -> u64 {
+        match self {
+            Router::Base(_) => 0,
+            Router::Dft(r) => r.fallback_events(),
+            Router::Bloom(r) => r.fallback_events(),
+            Router::Sketch(r) => r.fallback_events(),
+        }
+    }
+
+    fn sync_ref(&self) -> Option<&SyncState> {
+        match self {
+            Router::Base(_) => None,
+            Router::Dft(r) => Some(r.sync()),
+            Router::Bloom(r) => Some(r.sync()),
+            Router::Sketch(r) => Some(r.sync()),
+        }
+    }
+
+    fn sync_mut(&mut self) -> Option<&mut SyncState> {
+        match self {
+            Router::Base(_) => None,
+            Router::Dft(r) => Some(r.sync_mut()),
+            Router::Bloom(r) => Some(r.sync_mut()),
+            Router::Sketch(r) => Some(r.sync_mut()),
+        }
+    }
+}
+
+/// Iterates over all peers of `me` in ascending order.
+pub(crate) fn peers_of(me: u16, n: u16) -> impl Iterator<Item = u16> {
+    (0..n).filter(move |&j| j != me)
+}
+
+#[cfg(test)]
+pub(crate) fn test_config(me: u16, n: u16) -> RouterConfig {
+    RouterConfig {
+        me,
+        n,
+        domain: 256,
+        retained: 32,
+        window: 64,
+        flow: FlowParams::default(),
+        seed: 7,
+        sync_sent_interval: 16,
+        sync_arrival_interval: 64,
+        rho_refresh: 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Algorithm::Base.label(), "BASE");
+        assert_eq!(Algorithm::Dftt.to_string(), "DFTT");
+        assert_eq!(Algorithm::ALL.len(), 5);
+    }
+
+    #[test]
+    fn sync_state_bootstrap_then_intervals() {
+        let mut s = SyncState::new(3, 4, 10, 64);
+        // Bootstrap threshold is window/4 = 16.
+        for _ in 0..15 {
+            s.note_arrival();
+        }
+        assert!(!s.due(1));
+        s.note_arrival();
+        assert!(s.due(1), "bootstrap sync after warm-up");
+        s.reset(1);
+        assert!(!s.due(1));
+        // Sent-interval path.
+        for _ in 0..4 {
+            s.note_sent(1);
+        }
+        assert!(s.due(1));
+        s.reset(1);
+        // Arrival-interval path.
+        for _ in 0..10 {
+            s.note_arrival();
+        }
+        assert!(s.due(1));
+        assert!(!s.overdue(1));
+        for _ in 0..10 {
+            s.note_arrival();
+        }
+        assert!(s.overdue(1));
+    }
+
+    #[test]
+    fn peers_of_skips_self() {
+        let peers: Vec<u16> = peers_of(2, 5).collect();
+        assert_eq!(peers, vec![0, 1, 3, 4]);
+    }
+}

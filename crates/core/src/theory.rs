@@ -1,0 +1,201 @@
+//! Closed-form bounds from Section 5.2.2 — the curves of Figures 3 and 4.
+//!
+//! * Theorem 1: with `T_i = 1` under uniform data, `ε ≤ 1 − 2/N`.
+//! * Theorem 2: with `T_i = log N`, `ε ≤ 1 − (1 + log N)/N`.
+//! * Theorem 3: under Zipf skew `α`,
+//!   `ε ≤ 1 − Σ_{i=1}^{2} αⁱ/N` for `O(1)` complexity and
+//!   `ε ≤ 1 − (α − α^{log N + 1})/(1 − α)` for `O(log N)`.
+//!
+//! Message counts per tuple are `1` and `log N` respectively, versus the
+//! baseline's `N − 1` (Figure 3b).
+
+/// Theorem 1: error bound for `T_i = 1` under uniform data.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn uniform_error_bound_t1(n: u16) -> f64 {
+    assert!(n >= 2, "bound defined for n >= 2");
+    1.0 - 2.0 / n as f64
+}
+
+/// Theorem 2: error bound for `T_i = log N` under uniform data.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn uniform_error_bound_tlog(n: u16) -> f64 {
+    assert!(n >= 2, "bound defined for n >= 2");
+    let nf = n as f64;
+    (1.0 - (1.0 + nf.log2()) / nf).max(0.0)
+}
+
+/// Theorem 3, `O(1)` branch: error bound under Zipf skew `alpha`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `alpha` is outside `(0, 1)`.
+pub fn zipf_error_bound_t1(n: u16, alpha: f64) -> f64 {
+    assert!(n >= 2, "bound defined for n >= 2");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "Zipf skew must lie strictly in (0, 1)"
+    );
+    let sum: f64 = (1..=2).map(|i| alpha.powi(i)).sum();
+    (1.0 - sum / n as f64).clamp(0.0, 1.0)
+}
+
+/// Theorem 3, `O(log N)` branch: error bound under Zipf skew `alpha`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `alpha` is outside `(0, 1)`.
+pub fn zipf_error_bound_tlog(n: u16, alpha: f64) -> f64 {
+    assert!(n >= 2, "bound defined for n >= 2");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "Zipf skew must lie strictly in (0, 1)"
+    );
+    let logn = (n as f64).log2();
+    let geom = (alpha - alpha.powf(logn + 1.0)) / (1.0 - alpha);
+    (1.0 - geom).clamp(0.0, 1.0)
+}
+
+/// Messages per tuple at the `T_i = 1` operating point.
+pub fn messages_t1(_n: u16) -> f64 {
+    1.0
+}
+
+/// Messages per tuple at the `T_i = log N` operating point.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn messages_tlog(n: u16) -> f64 {
+    assert!(n >= 2, "defined for n >= 2");
+    (n as f64).log2().max(1.0)
+}
+
+/// Messages per tuple for the exact baseline (`N − 1` broadcasts).
+pub fn messages_base(n: u16) -> f64 {
+    n.saturating_sub(1) as f64
+}
+
+/// One row of the Figure 3/4 series: all bounds at a given cluster size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundsRow {
+    /// Cluster size.
+    pub n: u16,
+    /// Theorem 1 uniform error bound (`T = 1`).
+    pub uniform_eps_t1: f64,
+    /// Theorem 2 uniform error bound (`T = log N`).
+    pub uniform_eps_tlog: f64,
+    /// Theorem 3 Zipf error bound (`T = 1`).
+    pub zipf_eps_t1: f64,
+    /// Theorem 3 Zipf error bound (`T = log N`).
+    pub zipf_eps_tlog: f64,
+    /// Messages per tuple at `T = 1`.
+    pub msgs_t1: f64,
+    /// Messages per tuple at `T = log N`.
+    pub msgs_tlog: f64,
+    /// Messages per tuple for the exact baseline.
+    pub msgs_base: f64,
+}
+
+/// The full Figure 3/4 table for clusters of 2..=`max_n` nodes at Zipf skew
+/// `alpha`.
+///
+/// # Panics
+///
+/// Panics if `max_n < 2` or `alpha` is outside `(0, 1)`.
+pub fn bounds_table(max_n: u16, alpha: f64) -> Vec<BoundsRow> {
+    assert!(max_n >= 2, "need at least two nodes");
+    (2..=max_n)
+        .map(|n| BoundsRow {
+            n,
+            uniform_eps_t1: uniform_error_bound_t1(n),
+            uniform_eps_tlog: uniform_error_bound_tlog(n),
+            zipf_eps_t1: zipf_error_bound_t1(n, alpha),
+            zipf_eps_tlog: zipf_error_bound_tlog(n, alpha),
+            msgs_t1: messages_t1(n),
+            msgs_tlog: messages_tlog(n),
+            msgs_base: messages_base(n),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_examples() {
+        assert!((uniform_error_bound_t1(2) - 0.0).abs() < 1e-12);
+        assert!((uniform_error_bound_t1(4) - 0.5).abs() < 1e-12);
+        assert!((uniform_error_bound_t1(20) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem2_below_theorem1() {
+        for n in 3..=20 {
+            assert!(
+                uniform_error_bound_tlog(n) <= uniform_error_bound_t1(n) + 1e-12,
+                "log N budget can only help (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_grow_with_n() {
+        for n in 2..20 {
+            assert!(uniform_error_bound_t1(n + 1) > uniform_error_bound_t1(n));
+        }
+    }
+
+    #[test]
+    fn zipf_log_bound_shrinks_with_n() {
+        // Figure 4's key property: with O(log N) complexity under skew, the
+        // bound decreases as nodes are added.
+        let alpha = 0.4;
+        for n in 2..20 {
+            assert!(
+                zipf_error_bound_tlog(n + 1, alpha) <= zipf_error_bound_tlog(n, alpha) + 1e-12,
+                "n={n}"
+            );
+        }
+        assert!(zipf_error_bound_tlog(2, alpha) > zipf_error_bound_tlog(20, alpha));
+    }
+
+    #[test]
+    fn zipf_bounds_in_unit_interval() {
+        for n in 2..=20 {
+            for &alpha in &[0.1, 0.4, 0.9] {
+                for b in [zipf_error_bound_t1(n, alpha), zipf_error_bound_tlog(n, alpha)] {
+                    assert!((0.0..=1.0).contains(&b), "n={n} alpha={alpha}: {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_reduction_vs_baseline() {
+        // Figure 3b: at N=20 the baseline sends 19 messages, log N ≈ 4.3 —
+        // better than a three-fold reduction.
+        assert!(messages_base(20) / messages_tlog(20) > 3.0);
+        assert_eq!(messages_t1(20), 1.0);
+    }
+
+    #[test]
+    fn table_is_complete() {
+        let t = bounds_table(20, 0.4);
+        assert_eq!(t.len(), 19);
+        assert_eq!(t[0].n, 2);
+        assert_eq!(t[18].n, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf skew must lie strictly in (0, 1)")]
+    fn alpha_one_rejected() {
+        zipf_error_bound_tlog(4, 1.0);
+    }
+}

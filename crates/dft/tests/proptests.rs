@@ -1,0 +1,113 @@
+//! Property-based invariants of the Fourier substrate.
+
+use dsj_dft::sliding::PointDft;
+use dsj_dft::spectrum::cross_correlation_coefficient;
+use dsj_dft::{CompressedDft, ControlVector, Fft, RealFft, Selection, SlidingDft};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sliding DFT tracks the batch DFT of the current window for any
+    /// stream and window size.
+    #[test]
+    fn sliding_equals_batch(
+        w in 2usize..64,
+        stream in prop::collection::vec(-100.0f64..100.0, 1..300),
+    ) {
+        let mut sdft = SlidingDft::new(w, w.min(8), ControlVector::never());
+        for &x in &stream {
+            sdft.push(x);
+        }
+        let spec = Fft::new(w).forward_real(&sdft.window_chronological());
+        for (a, b) in sdft.coefficients().iter().zip(spec.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Point-update DFTs agree with batch transforms for arbitrary update
+    /// sequences, including cancellations.
+    #[test]
+    fn point_dft_equals_batch(
+        domain in 2usize..64,
+        updates in prop::collection::vec((0usize..64, -3i32..4), 1..200),
+    ) {
+        let mut pd = PointDft::new(domain, domain.min(6), ControlVector::never());
+        let mut vec = vec![0.0; domain];
+        for &(i, delta) in &updates {
+            let i = i % domain;
+            pd.add(i, f64::from(delta));
+            vec[i] += f64::from(delta);
+        }
+        let spec = Fft::new(domain).forward_real(&vec);
+        for (a, b) in pd.coefficients().iter().zip(spec.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// RealFft agrees with the generic complex path on any even length.
+    #[test]
+    fn real_fft_agrees(
+        half in 1usize..64,
+        seedvals in prop::collection::vec(-50.0f64..50.0, 2..128),
+    ) {
+        let n = 2 * half;
+        let x: Vec<f64> = (0..n).map(|i| seedvals[i % seedvals.len()] + i as f64 * 0.1).collect();
+        let fast = RealFft::new(n).forward(&x);
+        let reference = Fft::new(n).forward_real(&x);
+        for (a, b) in fast.iter().zip(&reference) {
+            prop_assert!((*a - *b).abs() < 1e-7 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Reconstruction error never grows when more coefficients are kept
+    /// (prefix selection), and both selections are exact at κ = 1.
+    #[test]
+    fn compression_error_monotone_in_coefficients(
+        signal in prop::collection::vec(-100.0f64..100.0, 16..128),
+    ) {
+        let m2 = CompressedDft::from_signal(&signal, 2).unwrap().mse(&signal);
+        let m8 = CompressedDft::from_signal(&signal, 8).unwrap().mse(&signal);
+        prop_assert!(m8 >= m2 - 1e-9);
+        for sel in [Selection::Prefix, Selection::TopEnergy] {
+            let exact = CompressedDft::from_signal_selected(&signal, 1, sel).unwrap();
+            prop_assert!(exact.mse(&signal) < 1e-9, "{sel:?} at kappa=1");
+        }
+    }
+
+    /// Top-energy selection never reconstructs worse than the prefix at
+    /// the same coefficient count (it may only choose better bins).
+    #[test]
+    fn top_energy_dominates_prefix(
+        signal in prop::collection::vec(-100.0f64..100.0, 16..128),
+        kappa in 2u32..8,
+    ) {
+        let prefix = CompressedDft::from_signal_selected(&signal, kappa, Selection::Prefix)
+            .unwrap();
+        let top = CompressedDft::from_signal_selected(&signal, kappa, Selection::TopEnergy)
+            .unwrap();
+        prop_assert!(top.mse(&signal) <= prefix.mse(&signal) + 1e-6);
+    }
+
+    /// ρ is symmetric, bounded, and 1 for self-correlation.
+    #[test]
+    fn rho_properties(
+        a in prop::collection::vec(0.0f64..50.0, 8..64),
+        b_seed in prop::collection::vec(0.0f64..50.0, 8..64),
+    ) {
+        let n = a.len();
+        let b: Vec<f64> = (0..n).map(|i| b_seed[i % b_seed.len()]).collect();
+        let fft = Fft::new(n);
+        let sa = fft.forward_real(&a);
+        let sb = fft.forward_real(&b);
+        let rho_ab = cross_correlation_coefficient(&sa, &sb, n);
+        let rho_ba = cross_correlation_coefficient(&sb, &sa, n);
+        prop_assert!((rho_ab - rho_ba).abs() < 1e-9, "symmetry");
+        prop_assert!((-1.0..=1.0).contains(&rho_ab), "bounded: {rho_ab}");
+        let energy: f64 = a.iter().map(|x| x * x).sum();
+        if energy > 1e-9 {
+            let rho_aa = cross_correlation_coefficient(&sa, &sa, n);
+            prop_assert!((rho_aa - 1.0).abs() < 1e-9, "self: {rho_aa}");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! One OS thread per node, crossbeam channels as links.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dsj_core::{ClusterConfig, Msg, NodeMetrics};
+use dsj_stream::Tuple;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Error raised when the live cluster fails to run to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveError {
+    /// A node thread panicked.
+    NodePanicked(u16),
+    /// A channel closed unexpectedly (a peer died mid-run).
+    ChannelClosed,
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::NodePanicked(id) => write!(f, "node thread {id} panicked"),
+            LiveError::ChannelClosed => write!(f, "inter-node channel closed unexpectedly"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+/// What one live run measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveOutcome {
+    /// Exact result-set size (post warm-up) for the configuration's
+    /// workload, computed by the sequential ground truth.
+    pub truth_matches: u64,
+    /// Matches the live cluster reported.
+    pub reported_matches: u64,
+    /// ε = (|Ψ| − |Ψ̂|)/|Ψ|.
+    pub epsilon: f64,
+    /// Messages exchanged between node threads.
+    pub messages: u64,
+    /// Aggregated per-node counters.
+    pub totals: NodeMetrics,
+    /// Real elapsed time from first arrival to quiescence.
+    pub wall_time: Duration,
+    /// Tuples processed per wall-clock second.
+    pub tuples_per_sec: f64,
+}
+
+enum Event {
+    Arrival(Tuple),
+    Net { from: u16, msg: Msg },
+    Shutdown,
+}
+
+/// Runs [`dsj_core::JoinNode`]s as live threads.
+///
+/// Message transport is unbounded channels with no injected latency —
+/// the point is concurrency correctness and raw processing speed, not the
+/// WAN model (that is `dsj-simnet`'s job). With effectively instant
+/// links, accuracy is bounded below by the simulated runs' (probes never
+/// go stale in flight).
+pub struct LiveCluster;
+
+impl LiveCluster {
+    /// Runs the configuration's full workload through a live threaded
+    /// cluster and reports the outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::NodePanicked`] if any node thread dies.
+    pub fn run(cfg: &ClusterConfig) -> Result<LiveOutcome, LiveError> {
+        let n = cfg.n;
+        let arrivals = cfg.arrivals();
+        let truth_matches = cfg.ground_truth_matches();
+
+        // One channel per node; every thread gets every sender.
+        let mut senders: Vec<Sender<Event>> = Vec::with_capacity(n as usize);
+        let mut receivers: Vec<Receiver<Event>> = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        // Messages (of any kind) currently in channels.
+        let in_flight = Arc::new(AtomicI64::new(0));
+        let epoch = Instant::now();
+        let failures: Arc<Mutex<Vec<u16>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut handles = Vec::with_capacity(n as usize);
+        for me in 0..n {
+            let rx = receivers[me as usize].clone();
+            let peers: Vec<Sender<Event>> = senders.clone();
+            let in_flight = Arc::clone(&in_flight);
+            let failures = Arc::clone(&failures);
+            let mut node = cfg.build_node(me);
+            handles.push(thread::spawn(move || {
+                loop {
+                    let Ok(event) = rx.recv() else {
+                        failures.lock().push(me);
+                        break;
+                    };
+                    match event {
+                        Event::Arrival(tuple) => {
+                            let now_us = epoch.elapsed().as_micros() as u64;
+                            for (peer, msg) in node.handle_arrival(tuple, now_us) {
+                                in_flight.fetch_add(1, Ordering::SeqCst);
+                                if peers[peer as usize]
+                                    .send(Event::Net { from: me, msg })
+                                    .is_err()
+                                {
+                                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                                    failures.lock().push(me);
+                                }
+                            }
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Event::Net { from, msg } => {
+                            node.handle_message(from, msg);
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Event::Shutdown => break,
+                    }
+                }
+                node
+            }));
+        }
+
+        // Feed arrivals in global order (per-channel FIFO keeps each
+        // node's sequence numbers ascending, as the windows require).
+        // Backpressure: cap the events in flight so slow consumers don't
+        // accumulate unbounded queues — unbounded backlog would let probe
+        // messages arrive long after their window contents were evicted,
+        // losing matches to staleness rather than to the algorithm.
+        let max_in_flight = 8 * i64::from(n);
+        let start = Instant::now();
+        for a in &arrivals {
+            while in_flight.load(Ordering::SeqCst) >= max_in_flight {
+                thread::yield_now();
+            }
+            in_flight.fetch_add(1, Ordering::SeqCst);
+            if senders[a.node as usize]
+                .send(Event::Arrival(a.tuple()))
+                .is_err()
+            {
+                return Err(LiveError::ChannelClosed);
+            }
+        }
+
+        // Quiesce: wait until no events remain in any channel.
+        while in_flight.load(Ordering::SeqCst) > 0 {
+            thread::yield_now();
+        }
+        let wall_time = start.elapsed();
+        for tx in &senders {
+            let _ = tx.send(Event::Shutdown);
+        }
+
+        let mut totals = NodeMetrics::default();
+        let mut nodes = Vec::with_capacity(n as usize);
+        for (id, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(node) => nodes.push(node),
+                Err(_) => return Err(LiveError::NodePanicked(id as u16)),
+            }
+        }
+        if let Some(&id) = failures.lock().first() {
+            return Err(LiveError::NodePanicked(id));
+        }
+        for node in &nodes {
+            totals.absorb(node.metrics());
+        }
+        let reported_matches = totals.matches();
+        let epsilon = if truth_matches == 0 {
+            0.0
+        } else {
+            ((truth_matches as f64 - reported_matches as f64) / truth_matches as f64).max(0.0)
+        };
+        let secs = wall_time.as_secs_f64().max(1e-9);
+        Ok(LiveOutcome {
+            truth_matches,
+            reported_matches,
+            epsilon,
+            messages: totals.tuple_msgs_sent + totals.summary_msgs_sent,
+            totals,
+            wall_time,
+            tuples_per_sec: arrivals.len() as f64 / secs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsj_core::Algorithm;
+    use dsj_stream::gen::WorkloadKind;
+
+    fn quick(n: u16, algorithm: Algorithm) -> ClusterConfig {
+        ClusterConfig::new(n, algorithm)
+            .window(128)
+            .domain(1 << 9)
+            .tuples(3_000)
+            .workload(WorkloadKind::Zipf { alpha: 0.4 })
+            .seed(7)
+    }
+
+    #[test]
+    fn base_live_cluster_is_nearly_exact() {
+        let outcome = LiveCluster::run(&quick(4, Algorithm::Base)).unwrap();
+        // Backpressure bounds in-flight events, so probe staleness is a
+        // few window slots at most: broadcast recovers all but a fraction
+        // of a percent of the ground truth.
+        assert!(
+            outcome.epsilon < 0.02,
+            "eps {} ({} of {})",
+            outcome.epsilon,
+            outcome.reported_matches,
+            outcome.truth_matches
+        );
+        assert!(outcome.tuples_per_sec > 1_000.0, "{}", outcome.tuples_per_sec);
+    }
+
+    #[test]
+    fn dftt_live_cluster_approximates() {
+        let outcome = LiveCluster::run(&quick(4, Algorithm::Dftt)).unwrap();
+        assert!(outcome.epsilon < 0.6, "eps {}", outcome.epsilon);
+        assert!(outcome.reported_matches > 0);
+        // DFTT must move far fewer messages than broadcast.
+        let base = LiveCluster::run(&quick(4, Algorithm::Base)).unwrap();
+        assert!(outcome.messages < base.messages / 2);
+    }
+
+    #[test]
+    fn all_algorithms_run_live() {
+        for algorithm in Algorithm::ALL {
+            let outcome = LiveCluster::run(&quick(3, algorithm)).unwrap();
+            assert!(
+                (0.0..=1.0).contains(&outcome.epsilon),
+                "{algorithm}: {}",
+                outcome.epsilon
+            );
+        }
+    }
+
+    #[test]
+    fn local_matches_are_run_invariant() {
+        // Local joins depend only on each node's own arrival order, which
+        // the feeder fixes — so they are identical across live runs even
+        // though remote probe timing races.
+        let a = LiveCluster::run(&quick(4, Algorithm::Dft)).unwrap();
+        let b = LiveCluster::run(&quick(4, Algorithm::Dft)).unwrap();
+        assert_eq!(a.totals.local_matches, b.totals.local_matches);
+        assert_eq!(a.truth_matches, b.truth_matches);
+    }
+}

@@ -1,0 +1,87 @@
+//! Network accounting: message and byte counters, globally and per link.
+
+use crate::sim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Counters maintained by the simulation for every send.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetMetrics {
+    /// Total messages handed to links.
+    pub messages_sent: u64,
+    /// Total messages delivered to handlers.
+    pub messages_delivered: u64,
+    /// Messages lost in flight (lossy-link injection).
+    pub messages_dropped: u64,
+    /// Total bytes handed to links.
+    pub bytes_sent: u64,
+    /// Per-directed-link (from, to) → (messages, bytes).
+    pub per_link: HashMap<(NodeId, NodeId), (u64, u64)>,
+}
+
+impl NetMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        NetMetrics::default()
+    }
+
+    /// Records a send of `bytes` on link `from → to`.
+    pub fn record_send(&mut self, from: NodeId, to: NodeId, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        let e = self.per_link.entry((from, to)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes as u64;
+    }
+
+    /// Records a delivery.
+    pub fn record_delivery(&mut self) {
+        self.messages_delivered += 1;
+    }
+
+    /// Records an in-flight loss.
+    pub fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    /// Messages sent on link `from → to`.
+    pub fn link_messages(&self, from: NodeId, to: NodeId) -> u64 {
+        self.per_link.get(&(from, to)).map_or(0, |e| e.0)
+    }
+
+    /// Bytes sent on link `from → to`.
+    pub fn link_bytes(&self, from: NodeId, to: NodeId) -> u64 {
+        self.per_link.get(&(from, to)).map_or(0, |e| e.1)
+    }
+
+    /// Total messages sent by node `from` to anyone.
+    pub fn sent_by(&self, from: NodeId) -> u64 {
+        self.per_link
+            .iter()
+            .filter(|((f, _), _)| *f == from)
+            .map(|(_, (m, _))| m)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = NetMetrics::new();
+        m.record_send(0, 1, 100);
+        m.record_send(0, 1, 50);
+        m.record_send(0, 2, 10);
+        m.record_delivery();
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.bytes_sent, 160);
+        assert_eq!(m.messages_delivered, 1);
+        assert_eq!(m.link_messages(0, 1), 2);
+        assert_eq!(m.link_bytes(0, 1), 150);
+        assert_eq!(m.link_messages(1, 0), 0);
+        assert_eq!(m.sent_by(0), 3);
+        assert_eq!(m.sent_by(1), 0);
+    }
+}

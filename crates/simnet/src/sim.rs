@@ -1,0 +1,630 @@
+//! The event loop: nodes, contexts and the simulation driver.
+
+use crate::link::{LinkConfig, LinkState};
+use crate::metrics::NetMetrics;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifies a node in the full-mesh topology (dense index).
+pub type NodeId = u16;
+
+/// Behaviour of a simulated node.
+///
+/// Handlers receive a [`Ctx`] through which they read the clock, send
+/// messages and arm timers; all effects are applied by the simulation after
+/// the handler returns, keeping event processing atomic.
+pub trait SimNode {
+    /// Locally injected work (e.g. a tuple arriving at this node from its
+    /// stream source — not subject to the network model).
+    type Input;
+    /// Wire messages exchanged between nodes.
+    type Msg;
+
+    /// Called when an injected input reaches this node.
+    fn on_input(&mut self, input: Self::Input, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when a network message is delivered to this node.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when a timer armed via [`Ctx::set_timer`] fires. The default
+    /// implementation ignores timers.
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = (tag, ctx);
+    }
+}
+
+/// Handler-side view of the simulation: clock access and buffered effects.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    me: NodeId,
+    nodes: u16,
+    outgoing: &'a mut Vec<(NodeId, M, usize)>,
+    timers: &'a mut Vec<(SimDuration, u64)>,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Total number of nodes in the mesh.
+    #[inline]
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// Sends `msg` (`bytes` long on the wire) to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is this node or out of range.
+    pub fn send(&mut self, to: NodeId, msg: M, bytes: usize) {
+        assert!(to != self.me, "a node cannot send to itself");
+        assert!(to < self.nodes, "destination out of range");
+        self.outgoing.push((to, msg, bytes));
+    }
+
+    /// Arms a timer that fires on this node after `delay` with `tag`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+}
+
+enum EventKind<I, M> {
+    Inject(I),
+    Deliver { from: NodeId, msg: M },
+    Timer { tag: u64 },
+}
+
+struct Event<I, M> {
+    time: SimTime,
+    seq: u64,
+    target: NodeId,
+    kind: EventKind<I, M>,
+}
+
+impl<I, M> PartialEq for Event<I, M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<I, M> Eq for Event<I, M> {}
+impl<I, M> PartialOrd for Event<I, M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<I, M> Ord for Event<I, M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        // Ties break by insertion sequence for determinism.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event simulation driver over a full mesh of `N` nodes.
+pub struct Simulation<N: SimNode> {
+    nodes: Vec<N>,
+    queue: BinaryHeap<Event<N::Input, N::Msg>>,
+    links: Vec<LinkState>,
+    cfg: LinkConfig,
+    /// Per-directed-link overrides of the global link model (heterogeneous
+    /// WANs: a slow transatlantic hop, a lossy last mile, ...).
+    overrides: std::collections::HashMap<(NodeId, NodeId), LinkConfig>,
+    rng: StdRng,
+    now: SimTime,
+    next_seq: u64,
+    metrics: NetMetrics,
+    events_processed: u64,
+}
+
+impl<N: SimNode> Simulation<N> {
+    /// Creates a simulation over `nodes` with link model `cfg`, seeded for
+    /// deterministic latency draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, has more than `u16::MAX` entries, or
+    /// `cfg` is invalid.
+    pub fn new(nodes: Vec<N>, cfg: LinkConfig, seed: u64) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        assert!(nodes.len() <= u16::MAX as usize, "too many nodes");
+        cfg.validate();
+        let n = nodes.len();
+        Simulation {
+            nodes,
+            queue: BinaryHeap::new(),
+            links: vec![LinkState::default(); n * n],
+            cfg,
+            overrides: std::collections::HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            metrics: NetMetrics::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> u16 {
+        self.nodes.len() as u16
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network accounting so far.
+    #[inline]
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Total events processed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable access to node `id`'s handler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id as usize]
+    }
+
+    /// Mutable access to node `id`'s handler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Iterates over all node handlers.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// Overrides the link model for the directed link `from → to`
+    /// (heterogeneous topologies). Must be set before traffic flows on the
+    /// link for its FIFO state to be meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, the endpoints are equal,
+    /// or `cfg` is invalid.
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, cfg: LinkConfig) {
+        assert!(from != to, "no self links in the mesh");
+        assert!(
+            (from as usize) < self.nodes.len() && (to as usize) < self.nodes.len(),
+            "link endpoint out of range"
+        );
+        cfg.validate();
+        self.overrides.insert((from, to), cfg);
+    }
+
+    /// Schedules `input` to arrive at `node` at absolute time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the simulated past or `node` is out of range.
+    pub fn inject_at(&mut self, t: SimTime, node: NodeId, input: N::Input) {
+        assert!(t >= self.now, "cannot inject into the past");
+        assert!((node as usize) < self.nodes.len(), "node out of range");
+        let seq = self.bump_seq();
+        self.queue.push(Event {
+            time: t,
+            seq,
+            target: node,
+            kind: EventKind::Inject(input),
+        });
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn link_index(&self, from: NodeId, to: NodeId) -> usize {
+        from as usize * self.nodes.len() + to as usize
+    }
+
+    /// Processes a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time must be monotone");
+        self.now = ev.time;
+        self.events_processed += 1;
+        if matches!(ev.kind, EventKind::Deliver { .. }) {
+            self.metrics.record_delivery();
+        }
+        let mut outgoing: Vec<(NodeId, N::Msg, usize)> = Vec::new();
+        let mut timers: Vec<(SimDuration, u64)> = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                me: ev.target,
+                nodes: self.nodes.len() as u16,
+                outgoing: &mut outgoing,
+                timers: &mut timers,
+            };
+            let node = &mut self.nodes[ev.target as usize];
+            match ev.kind {
+                EventKind::Inject(input) => node.on_input(input, &mut ctx),
+                EventKind::Deliver { from, msg } => {
+                    node.on_message(from, msg, &mut ctx);
+                }
+                EventKind::Timer { tag } => node.on_timer(tag, &mut ctx),
+            }
+        }
+        for (to, msg, bytes) in outgoing {
+            let idx = self.link_index(ev.target, to);
+            let link_cfg = *self.overrides.get(&(ev.target, to)).unwrap_or(&self.cfg);
+            let deliver_at =
+                self.links[idx].schedule(self.now, bytes, &link_cfg, &mut self.rng);
+            self.metrics.record_send(ev.target, to, bytes);
+            // Loss happens after the link was occupied: a dropped message
+            // still burned its transmission slot.
+            if link_cfg.draw_loss(&mut self.rng) {
+                self.metrics.record_drop();
+                continue;
+            }
+            let seq = self.bump_seq();
+            self.queue.push(Event {
+                time: deliver_at,
+                seq,
+                target: to,
+                kind: EventKind::Deliver {
+                    from: ev.target,
+                    msg,
+                },
+            });
+        }
+        for (delay, tag) in timers {
+            let seq = self.bump_seq();
+            self.queue.push(Event {
+                time: self.now + delay,
+                seq,
+                target: ev.target,
+                kind: EventKind::Timer { tag },
+            });
+        }
+        true
+    }
+
+    /// Runs until no events remain.
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the next event would be after `t` (or the queue drains);
+    /// the clock advances to at most the last processed event.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > t {
+                break;
+            }
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Node that forwards each input to the next node `hops` times.
+    struct Relay {
+        hops: u32,
+        received: Vec<(NodeId, u32)>,
+        timer_fired: Vec<u64>,
+    }
+
+    impl Relay {
+        fn new(hops: u32) -> Self {
+            Relay {
+                hops,
+                received: Vec::new(),
+                timer_fired: Vec::new(),
+            }
+        }
+    }
+
+    impl SimNode for Relay {
+        type Input = u32;
+        type Msg = u32;
+
+        fn on_input(&mut self, input: u32, ctx: &mut Ctx<'_, u32>) {
+            if self.hops > 0 {
+                let to = (ctx.me() + 1) % ctx.nodes();
+                ctx.send(to, input, 100);
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.received.push((from, msg));
+            if (msg as u64) < u64::from(self.hops) {
+                let to = (ctx.me() + 1) % ctx.nodes();
+                ctx.send(to, msg + 1, 100);
+            }
+        }
+
+        fn on_timer(&mut self, tag: u64, _ctx: &mut Ctx<'_, u32>) {
+            self.timer_fired.push(tag);
+        }
+    }
+
+    fn three_relays(hops: u32) -> Simulation<Relay> {
+        Simulation::new(
+            vec![Relay::new(hops), Relay::new(hops), Relay::new(hops)],
+            LinkConfig::paper_wan(),
+            7,
+        )
+    }
+
+    #[test]
+    fn message_travels_and_time_advances() {
+        let mut sim = three_relays(1);
+        sim.inject_at(SimTime::ZERO, 0, 0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(1).received.len(), 1);
+        assert_eq!(sim.node(1).received[0], (0, 0));
+        // 100 bytes at 90kbps ≈ 8.9ms tx + ≥20ms latency.
+        assert!(sim.now() >= SimTime::ZERO + SimDuration::from_millis(28));
+        assert_eq!(sim.metrics().messages_sent, 2, "inject fwd + relay fwd");
+    }
+
+    #[test]
+    fn relay_chain_orders_causally() {
+        let mut sim = three_relays(5);
+        sim.inject_at(SimTime::ZERO, 0, 0);
+        sim.run_to_quiescence();
+        let total: usize = (0..3).map(|i| sim.node(i).received.len()).sum();
+        assert_eq!(total, 6, "msg values 0..=5 delivered");
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(
+                vec![Relay::new(3), Relay::new(3), Relay::new(3)],
+                LinkConfig::paper_wan(),
+                seed,
+            );
+            for i in 0..10 {
+                sim.inject_at(SimTime::from_micros(i * 100), (i % 3) as u16, 0);
+            }
+            sim.run_to_quiescence();
+            (sim.now(), sim.metrics().messages_sent)
+        };
+        assert_eq!(run(5), run(5));
+        // Different seed ⇒ different latencies ⇒ (almost surely) different clock.
+        assert_ne!(run(5).0, run(6).0);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = three_relays(100);
+        sim.inject_at(SimTime::ZERO, 0, 0);
+        let horizon = SimTime::from_micros(200_000);
+        sim.run_until(horizon);
+        assert!(sim.now() <= horizon);
+        // More events remain.
+        assert!(sim.step());
+    }
+
+    #[test]
+    fn timers_fire() {
+        struct Alarm;
+        impl SimNode for Alarm {
+            type Input = ();
+            type Msg = ();
+            fn on_input(&mut self, _: (), ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimDuration::from_millis(5), 42);
+            }
+            fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, ()>) {
+                assert_eq!(tag, 42);
+                assert_eq!(ctx.now(), SimTime::ZERO + SimDuration::from_millis(5));
+            }
+        }
+        let mut sim = Simulation::new(vec![Alarm], LinkConfig::instant(), 0);
+        sim.inject_at(SimTime::ZERO, 0, ());
+        sim.run_to_quiescence();
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    #[test]
+    fn bandwidth_contention_delays_bursts() {
+        // Two messages injected back-to-back on the same link must be
+        // serialized: second delivery at least one transmission later.
+        struct Burst;
+        impl SimNode for Burst {
+            type Input = ();
+            type Msg = u32;
+            fn on_input(&mut self, _: (), ctx: &mut Ctx<'_, u32>) {
+                ctx.send(1, 1, 9_000); // 0.8 s at 90 kbps
+                ctx.send(1, 2, 9_000);
+            }
+            fn on_message(&mut self, _: NodeId, _: u32, _: &mut Ctx<'_, u32>) {}
+        }
+        struct Sink {
+            at: Vec<SimTime>,
+        }
+        impl SimNode for Sink {
+            type Input = ();
+            type Msg = u32;
+            fn on_input(&mut self, _: (), _: &mut Ctx<'_, u32>) {}
+            fn on_message(&mut self, _: NodeId, _: u32, ctx: &mut Ctx<'_, u32>) {
+                self.at.push(ctx.now());
+            }
+        }
+        // Heterogeneous nodes: wrap in an enum.
+        enum Either {
+            B(Burst),
+            S(Sink),
+        }
+        impl SimNode for Either {
+            type Input = ();
+            type Msg = u32;
+            fn on_input(&mut self, i: (), ctx: &mut Ctx<'_, u32>) {
+                match self {
+                    Either::B(b) => b.on_input(i, ctx),
+                    Either::S(s) => s.on_input(i, ctx),
+                }
+            }
+            fn on_message(&mut self, f: NodeId, m: u32, ctx: &mut Ctx<'_, u32>) {
+                match self {
+                    Either::B(b) => b.on_message(f, m, ctx),
+                    Either::S(s) => s.on_message(f, m, ctx),
+                }
+            }
+        }
+        let mut sim = Simulation::new(
+            vec![Either::B(Burst), Either::S(Sink { at: Vec::new() })],
+            LinkConfig::paper_wan(),
+            3,
+        );
+        sim.inject_at(SimTime::ZERO, 0, ());
+        sim.run_to_quiescence();
+        let Either::S(sink) = sim.node(1) else {
+            panic!("node 1 is the sink");
+        };
+        assert_eq!(sink.at.len(), 2);
+        let gap = sink.at[1].since(sink.at[0]);
+        // Transmission of 9000 bytes at 90kbps = 0.8s; latencies differ by
+        // at most 80ms, so the gap must exceed 0.7s.
+        assert!(
+            gap >= SimDuration::from_millis(700),
+            "bandwidth not serialized: gap {gap}"
+        );
+    }
+
+    #[test]
+    fn per_link_overrides_apply() {
+        // Node 0 sends the same payload to nodes 1 and 2; the 0→2 link is
+        // overridden to be 100x slower, so node 2's delivery lags.
+        struct Fan;
+        impl SimNode for Fan {
+            type Input = ();
+            type Msg = ();
+            fn on_input(&mut self, _: (), ctx: &mut Ctx<'_, ()>) {
+                ctx.send(1, (), 900);
+                ctx.send(2, (), 900);
+            }
+            fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, ()>) {}
+        }
+        struct At(Option<SimTime>);
+        impl SimNode for At {
+            type Input = ();
+            type Msg = ();
+            fn on_input(&mut self, _: (), _: &mut Ctx<'_, ()>) {}
+            fn on_message(&mut self, _: NodeId, _: (), ctx: &mut Ctx<'_, ()>) {
+                self.0 = Some(ctx.now());
+            }
+        }
+        enum Node {
+            Fan(Fan),
+            At(At),
+        }
+        impl SimNode for Node {
+            type Input = ();
+            type Msg = ();
+            fn on_input(&mut self, i: (), ctx: &mut Ctx<'_, ()>) {
+                match self {
+                    Node::Fan(x) => x.on_input(i, ctx),
+                    Node::At(x) => x.on_input(i, ctx),
+                }
+            }
+            fn on_message(&mut self, f: NodeId, m: (), ctx: &mut Ctx<'_, ()>) {
+                match self {
+                    Node::Fan(x) => x.on_message(f, m, ctx),
+                    Node::At(x) => x.on_message(f, m, ctx),
+                }
+            }
+        }
+        let fast = LinkConfig {
+            latency_min: SimDuration::from_millis(1),
+            latency_max: SimDuration::from_millis(1),
+            bandwidth_bps: 1_000_000,
+            loss_ppm: 0,
+        };
+        let slow = LinkConfig {
+            latency_min: SimDuration::from_millis(500),
+            latency_max: SimDuration::from_millis(500),
+            bandwidth_bps: 10_000,
+            loss_ppm: 0,
+        };
+        let mut sim = Simulation::new(
+            vec![Node::Fan(Fan), Node::At(At(None)), Node::At(At(None))],
+            fast,
+            1,
+        );
+        sim.set_link(0, 2, slow);
+        sim.inject_at(SimTime::ZERO, 0, ());
+        sim.run_to_quiescence();
+        let t1 = match sim.node(1) {
+            Node::At(At(Some(t))) => *t,
+            _ => panic!("node 1 got nothing"),
+        };
+        let t2 = match sim.node(2) {
+            Node::At(At(Some(t))) => *t,
+            _ => panic!("node 2 got nothing"),
+        };
+        assert!(
+            t2.since(t1) >= SimDuration::from_millis(400),
+            "override must slow 0->2: t1 {t1}, t2 {t2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "a node cannot send to itself")]
+    fn self_send_rejected() {
+        struct SelfSend;
+        impl SimNode for SelfSend {
+            type Input = ();
+            type Msg = ();
+            fn on_input(&mut self, _: (), ctx: &mut Ctx<'_, ()>) {
+                ctx.send(0, (), 1);
+            }
+            fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, ()>) {}
+        }
+        let mut sim = Simulation::new(vec![SelfSend], LinkConfig::instant(), 0);
+        sim.inject_at(SimTime::ZERO, 0, ());
+        sim.run_to_quiescence();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject into the past")]
+    fn past_injection_rejected() {
+        let mut sim = three_relays(1);
+        sim.inject_at(SimTime::from_micros(1000), 0, 0);
+        sim.run_to_quiescence();
+        sim.inject_at(SimTime::ZERO, 0, 0);
+    }
+}

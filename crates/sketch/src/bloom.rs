@@ -1,0 +1,337 @@
+//! Counting Bloom filters.
+//!
+//! The paper's BLOOM baseline (Section 6) builds a counting Bloom filter at
+//! each site and ships it to remote sites, where arriving tuples are tested
+//! for membership against the remote windows; flow factors derive from the
+//! positive-hit rates. Counting (rather than bit) filters are required
+//! because sliding windows evict tuples, which must decrement the filter.
+
+use crate::hash::PolyHash;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error raised when combining incompatible filters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterMismatchError {
+    expected: (usize, usize, u64),
+    found: (usize, usize, u64),
+}
+
+impl fmt::Display for FilterMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bloom filter shapes/seeds differ: expected (m, k, seed) = {:?}, found {:?}",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for FilterMismatchError {}
+
+/// A counting Bloom filter over `u64` values.
+///
+/// ```
+/// use dsj_sketch::CountingBloomFilter;
+///
+/// let mut f = CountingBloomFilter::new(1024, 4, 7);
+/// f.insert(99);
+/// assert!(f.contains(99));
+/// f.remove(99);
+/// assert!(!f.contains(99));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountingBloomFilter {
+    counters: Vec<u32>,
+    k: usize,
+    seed: u64,
+    #[serde(skip)]
+    hashes: Vec<PolyHash>,
+    items: u64,
+}
+
+impl CountingBloomFilter {
+    /// Creates a filter with `m` counters and `k` hash functions derived
+    /// from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k == 0`.
+    pub fn new(m: usize, k: usize, seed: u64) -> Self {
+        assert!(m > 0, "filter must have counters");
+        assert!(k > 0, "filter must have hash functions");
+        CountingBloomFilter {
+            counters: vec![0; m],
+            k,
+            seed,
+            hashes: Self::derive_hashes(k, seed),
+            items: 0,
+        }
+    }
+
+    /// Creates a filter of at most `bytes` serialized size (4 bytes per
+    /// counter), choosing the optimal hash count for `expected_items`:
+    /// `k = (m/n)·ln 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes < 4` or `expected_items == 0`.
+    pub fn with_size_bytes(bytes: usize, expected_items: usize, seed: u64) -> Self {
+        assert!(bytes >= 4, "budget too small for a single counter");
+        assert!(expected_items > 0, "expected item count must be positive");
+        let m = bytes / 4;
+        let k = (((m as f64 / expected_items as f64) * std::f64::consts::LN_2).round() as usize)
+            .clamp(1, 16);
+        CountingBloomFilter::new(m, k, seed)
+    }
+
+    fn derive_hashes(k: usize, seed: u64) -> Vec<PolyHash> {
+        (0..k)
+            .map(|i| PolyHash::pairwise(seed.wrapping_add(0xB10F ^ (i as u64) << 23)))
+            .collect()
+    }
+
+    /// Number of counters `m`.
+    #[inline]
+    pub fn counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Number of hash functions `k`.
+    #[inline]
+    pub fn hash_count(&self) -> usize {
+        self.k
+    }
+
+    /// The derivation seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of items currently accounted (inserts minus removes).
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// `true` when no items are accounted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Serialized size in bytes (4 per counter).
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len() * 4
+    }
+
+    /// Re-derives hash functions after deserialization.
+    pub fn rehydrate(&mut self) {
+        if self.hashes.len() != self.k {
+            self.hashes = Self::derive_hashes(self.k, self.seed);
+        }
+    }
+
+    /// Inserts a value (increments its `k` counters).
+    pub fn insert(&mut self, v: u64) {
+        let m = self.counters.len() as u64;
+        for h in &self.hashes {
+            let idx = h.hash_to_range(v, m) as usize;
+            self.counters[idx] = self.counters[idx].saturating_add(1);
+        }
+        self.items += 1;
+    }
+
+    /// Removes a previously inserted value (decrements its counters).
+    ///
+    /// Removing a value that was never inserted corrupts the filter's
+    /// accuracy guarantees (counters may hit zero for other members); in
+    /// debug builds this is caught by an assertion when a counter would
+    /// underflow.
+    pub fn remove(&mut self, v: u64) {
+        let m = self.counters.len() as u64;
+        for h in &self.hashes {
+            let idx = h.hash_to_range(v, m) as usize;
+            debug_assert!(self.counters[idx] > 0, "removing non-member value {v}");
+            self.counters[idx] = self.counters[idx].saturating_sub(1);
+        }
+        self.items = self.items.saturating_sub(1);
+    }
+
+    /// Membership test — false positives possible, false negatives are not
+    /// (absent counter corruption via bad `remove`s).
+    pub fn contains(&self, v: u64) -> bool {
+        let m = self.counters.len() as u64;
+        self.hashes
+            .iter()
+            .all(|h| self.counters[h.hash_to_range(v, m) as usize] > 0)
+    }
+
+    /// Estimated multiplicity of `v`: the minimum of its counters
+    /// (a Count-Min-style upper bound).
+    pub fn count_estimate(&self, v: u64) -> u32 {
+        let m = self.counters.len() as u64;
+        self.hashes
+            .iter()
+            .map(|h| self.counters[h.hash_to_range(v, m) as usize])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Expected false-positive rate at the current load:
+    /// `(1 − e^{−k·n/m})^k`.
+    pub fn false_positive_rate(&self) -> f64 {
+        let m = self.counters.len() as f64;
+        let n = self.items as f64;
+        let k = self.k as f64;
+        (1.0 - (-k * n / m).exp()).powf(k)
+    }
+
+    /// Adds another filter's counters into this one (union of contents).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterMismatchError`] when shapes or seeds differ.
+    pub fn merge(&mut self, other: &CountingBloomFilter) -> Result<(), FilterMismatchError> {
+        if self.counters.len() != other.counters.len()
+            || self.k != other.k
+            || self.seed != other.seed
+        {
+            return Err(FilterMismatchError {
+                expected: (self.counters.len(), self.k, self.seed),
+                found: (other.counters.len(), other.k, other.seed),
+            });
+        }
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.items += other.items;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = CountingBloomFilter::new(4096, 4, 3);
+        for v in 0..500 {
+            f.insert(v * 7);
+        }
+        for v in 0..500 {
+            assert!(f.contains(v * 7), "false negative for {}", v * 7);
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_moderate() {
+        let mut f = CountingBloomFilter::new(4096, 4, 3);
+        for v in 0..500 {
+            f.insert(v);
+        }
+        let fps = (10_000..20_000).filter(|&v| f.contains(v)).count();
+        let measured = fps as f64 / 10_000.0;
+        let predicted = f.false_positive_rate();
+        assert!(
+            measured < predicted * 3.0 + 0.01,
+            "measured fpr {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn remove_restores_absence() {
+        let mut f = CountingBloomFilter::new(1024, 3, 5);
+        f.insert(42);
+        f.insert(42);
+        f.remove(42);
+        assert!(f.contains(42), "one copy should remain");
+        f.remove(42);
+        assert!(!f.contains(42));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn count_estimate_upper_bounds_truth() {
+        let mut f = CountingBloomFilter::new(2048, 4, 9);
+        for _ in 0..7 {
+            f.insert(1000);
+        }
+        for v in 0..100 {
+            f.insert(v);
+        }
+        assert!(f.count_estimate(1000) >= 7);
+    }
+
+    #[test]
+    fn sliding_window_usage_pattern() {
+        // Insert a sliding window of 64 values over a stream of 1000;
+        // after the run only the last 64 remain.
+        let mut f = CountingBloomFilter::new(4096, 4, 1);
+        let mut window = std::collections::VecDeque::new();
+        for v in 0..1000u64 {
+            f.insert(v);
+            window.push_back(v);
+            if window.len() > 64 {
+                f.remove(window.pop_front().unwrap());
+            }
+        }
+        assert_eq!(f.len(), 64);
+        for &v in &window {
+            assert!(f.contains(v));
+        }
+        let stale = (0..900).filter(|&v| f.contains(v)).count();
+        assert!(stale < 45, "too many stale positives: {stale}");
+    }
+
+    #[test]
+    fn with_size_bytes_budget() {
+        let f = CountingBloomFilter::with_size_bytes(8192, 1000, 2);
+        assert!(f.size_bytes() <= 8192);
+        assert!(f.hash_count() >= 1);
+    }
+
+    #[test]
+    fn merge_unions_contents() {
+        let mut a = CountingBloomFilter::new(512, 3, 4);
+        let mut b = CountingBloomFilter::new(512, 3, 4);
+        a.insert(1);
+        b.insert(2);
+        a.merge(&b).unwrap();
+        assert!(a.contains(1) && a.contains(2));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn merge_incompatible_errors() {
+        let mut a = CountingBloomFilter::new(512, 3, 4);
+        let b = CountingBloomFilter::new(512, 3, 5);
+        let c = CountingBloomFilter::new(256, 3, 4);
+        assert!(a.merge(&b).is_err());
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn fpr_grows_with_load() {
+        let mut f = CountingBloomFilter::new(1024, 4, 6);
+        let light = {
+            for v in 0..50 {
+                f.insert(v);
+            }
+            f.false_positive_rate()
+        };
+        for v in 50..2000 {
+            f.insert(v);
+        }
+        assert!(f.false_positive_rate() > light);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter must have counters")]
+    fn zero_counters_rejected() {
+        CountingBloomFilter::new(0, 3, 1);
+    }
+}

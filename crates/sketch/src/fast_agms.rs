@@ -1,0 +1,331 @@
+//! Fast-AGMS sketches (Cormode & Garofalakis, "Sketching streams through
+//! the net" — reference \[8\] of the paper).
+//!
+//! Classic AGMS touches every one of its `s0·s1` counters per update. The
+//! fast variant hash-*partitions* the domain: each of the `s1` rows picks
+//! a single bucket of width `s0` by a pairwise hash and adds `ξ(v)·δ`
+//! there, so an update costs `O(s1)` while the join-size estimator keeps
+//! the same unbiasedness (the row estimate is the inner product of the two
+//! rows' buckets) and tightens variance for skewed data.
+
+use crate::hash::PolyHash;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error raised when combining incompatible sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastSketchMismatchError {
+    expected: (usize, usize, u64),
+    found: (usize, usize, u64),
+}
+
+impl fmt::Display for FastSketchMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fast-AGMS shapes/seeds differ: expected (buckets, rows, seed) = {:?}, found {:?}",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for FastSketchMismatchError {}
+
+/// A Fast-AGMS sketch: `rows` hash-partitioned rows of `buckets` counters.
+///
+/// ```
+/// use dsj_sketch::FastAgmsSketch;
+///
+/// let mut r = FastAgmsSketch::new(32, 7, 9);
+/// let mut s = FastAgmsSketch::new(32, 7, 9);
+/// for v in 0..200u64 {
+///     r.update(v, 1);
+///     s.update(v, 1);
+/// }
+/// let est = r.join_size(&s)?;
+/// assert!((est - 200.0).abs() < 120.0, "estimate {est}");
+/// # Ok::<(), dsj_sketch::fast_agms::FastSketchMismatchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastAgmsSketch {
+    buckets: usize,
+    rows: usize,
+    seed: u64,
+    counters: Vec<i64>,
+    #[serde(skip)]
+    bucket_hashes: Vec<PolyHash>,
+    #[serde(skip)]
+    sign_hashes: Vec<PolyHash>,
+    total_updates: u64,
+}
+
+impl FastAgmsSketch {
+    /// Creates a sketch with `buckets` counters per row and `rows`
+    /// median rows, derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `rows == 0`.
+    pub fn new(buckets: usize, rows: usize, seed: u64) -> Self {
+        assert!(buckets > 0 && rows > 0, "sketch dimensions must be positive");
+        let (bucket_hashes, sign_hashes) = Self::derive_hashes(rows, seed);
+        FastAgmsSketch {
+            buckets,
+            rows,
+            seed,
+            counters: vec![0; buckets * rows],
+            bucket_hashes,
+            sign_hashes,
+            total_updates: 0,
+        }
+    }
+
+    /// Creates a sketch of at most `bytes` serialized size (8 bytes per
+    /// counter), keeping the paper's 5:1 width-to-rows ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes < 48`.
+    pub fn with_size_bytes(bytes: usize, seed: u64) -> Self {
+        let counters = bytes / 8;
+        assert!(counters >= 5, "budget too small for a 5x1 sketch");
+        let rows = (((counters as f64) / 5.0).sqrt().floor() as usize).max(1);
+        let buckets = (counters / rows).max(1);
+        FastAgmsSketch::new(buckets, rows, seed)
+    }
+
+    fn derive_hashes(rows: usize, seed: u64) -> (Vec<PolyHash>, Vec<PolyHash>) {
+        let bucket = (0..rows)
+            .map(|r| PolyHash::pairwise(seed ^ 0xFA57_0000 ^ ((r as u64) << 20)))
+            .collect();
+        let sign = (0..rows)
+            .map(|r| PolyHash::four_wise(seed ^ 0x51C9_0000 ^ ((r as u64) << 20)))
+            .collect();
+        (bucket, sign)
+    }
+
+    /// Counters per row.
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Number of median rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The derivation seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Serialized size in bytes (8 per counter).
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len() * 8
+    }
+
+    /// Total updates applied.
+    #[inline]
+    pub fn updates(&self) -> u64 {
+        self.total_updates
+    }
+
+    /// Applies a frequency change `delta` for value `v` — `O(rows)`.
+    pub fn update(&mut self, v: u64, delta: i64) {
+        for r in 0..self.rows {
+            let b = self.bucket_hashes[r].hash_to_range(v, self.buckets as u64) as usize;
+            let sign = self.sign_hashes[r].sign(v);
+            self.counters[r * self.buckets + b] += sign * delta;
+        }
+        self.total_updates += 1;
+    }
+
+    /// Re-derives hash functions after deserialization.
+    pub fn rehydrate(&mut self) {
+        if self.bucket_hashes.len() != self.rows {
+            let (b, s) = Self::derive_hashes(self.rows, self.seed);
+            self.bucket_hashes = b;
+            self.sign_hashes = s;
+        }
+    }
+
+    fn check_compatible(&self, other: &FastAgmsSketch) -> Result<(), FastSketchMismatchError> {
+        if self.buckets != other.buckets || self.rows != other.rows || self.seed != other.seed {
+            return Err(FastSketchMismatchError {
+                expected: (self.buckets, self.rows, self.seed),
+                found: (other.buckets, other.rows, other.seed),
+            });
+        }
+        Ok(())
+    }
+
+    /// Estimates the join size `Σ_v f(v)·g(v)`: median over rows of the
+    /// row-bucket inner products.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FastSketchMismatchError`] when shapes or seeds differ.
+    pub fn join_size(&self, other: &FastAgmsSketch) -> Result<f64, FastSketchMismatchError> {
+        self.check_compatible(other)?;
+        let mut row_estimates: Vec<f64> = (0..self.rows)
+            .map(|r| {
+                let base = r * self.buckets;
+                (0..self.buckets)
+                    .map(|b| (self.counters[base + b] * other.counters[base + b]) as f64)
+                    .sum()
+            })
+            .collect();
+        row_estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+        let mid = row_estimates.len() / 2;
+        Ok(if row_estimates.len() % 2 == 1 {
+            row_estimates[mid]
+        } else {
+            (row_estimates[mid - 1] + row_estimates[mid]) / 2.0
+        })
+    }
+
+    /// Estimates the self-join size (second frequency moment).
+    pub fn self_join_size(&self) -> f64 {
+        self.join_size(self).expect("self is always compatible")
+    }
+
+    /// Adds another sketch's counters into this one (union of multisets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FastSketchMismatchError`] when shapes or seeds differ.
+    pub fn merge(&mut self, other: &FastAgmsSketch) -> Result<(), FastSketchMismatchError> {
+        self.check_compatible(other)?;
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += *b;
+        }
+        self.total_updates += other.total_updates;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::SplitMix64;
+
+    fn sketch_of(freqs: &[i64], seed: u64) -> FastAgmsSketch {
+        let mut sk = FastAgmsSketch::new(64, 7, seed);
+        for (v, &f) in freqs.iter().enumerate() {
+            if f != 0 {
+                sk.update(v as u64, f);
+            }
+        }
+        sk
+    }
+
+    #[test]
+    fn join_size_close_on_correlated_streams() {
+        let mut rng = SplitMix64::new(4);
+        let f: Vec<i64> = (0..512).map(|_| rng.next_below(6) as i64).collect();
+        let g: Vec<i64> = f.iter().map(|&x| x / 2 + 1).collect();
+        let exact: f64 = f.iter().zip(&g).map(|(a, b)| (a * b) as f64).sum();
+        let est = sketch_of(&f, 3).join_size(&sketch_of(&g, 3)).unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.3,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn disjoint_streams_near_zero() {
+        let mut f = vec![0i64; 1024];
+        let mut g = vec![0i64; 1024];
+        for i in 0..300 {
+            f[i] = 3;
+            g[512 + i] = 3;
+        }
+        let est = sketch_of(&f, 8).join_size(&sketch_of(&g, 8)).unwrap();
+        let scale: f64 = f.iter().map(|&x| (x * x) as f64).sum();
+        assert!(est.abs() < 0.3 * scale, "disjoint estimate {est}");
+    }
+
+    #[test]
+    fn deletions_cancel() {
+        let mut sk = FastAgmsSketch::new(32, 5, 1);
+        for v in 0..100 {
+            sk.update(v, 2);
+        }
+        for v in 0..100 {
+            sk.update(v, -2);
+        }
+        assert_eq!(sk.self_join_size(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = FastAgmsSketch::new(16, 3, 6);
+        let mut b = FastAgmsSketch::new(16, 3, 6);
+        let mut u = FastAgmsSketch::new(16, 3, 6);
+        for v in 0..40 {
+            a.update(v, 1);
+            u.update(v, 1);
+        }
+        for v in 40..80 {
+            b.update(v, 1);
+            u.update(v, 1);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a, u);
+    }
+
+    #[test]
+    fn incompatible_rejected() {
+        let a = FastAgmsSketch::new(16, 3, 6);
+        assert!(a.join_size(&FastAgmsSketch::new(16, 3, 7)).is_err());
+        assert!(a.join_size(&FastAgmsSketch::new(8, 3, 6)).is_err());
+    }
+
+    #[test]
+    fn update_touches_only_rows_counters() {
+        // Exactly `rows` counters change per update.
+        let mut sk = FastAgmsSketch::new(64, 5, 2);
+        let before = sk.counters.clone();
+        sk.update(12345, 1);
+        let changed = sk
+            .counters
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(changed, 5);
+    }
+
+    #[test]
+    fn with_size_bytes_budget() {
+        let sk = FastAgmsSketch::with_size_bytes(4096, 1);
+        assert!(sk.size_bytes() <= 4096);
+        assert!(sk.rows() >= 1 && sk.buckets() >= sk.rows());
+    }
+
+    #[test]
+    fn accuracy_comparable_to_classic_agms_at_equal_size() {
+        use crate::agms::AgmsSketch;
+        let mut rng = SplitMix64::new(9);
+        let f: Vec<i64> = (0..1024).map(|_| rng.next_below(5) as i64).collect();
+        let exact: f64 = f.iter().map(|&x| (x * x) as f64).sum();
+        let rel = |est: f64| (est - exact).abs() / exact;
+        let mut classic = AgmsSketch::with_size_bytes(2048, 5);
+        let mut fast = FastAgmsSketch::with_size_bytes(2048, 5);
+        for (v, &c) in f.iter().enumerate() {
+            if c != 0 {
+                classic.update(v as u64, c);
+                fast.update(v as u64, c);
+            }
+        }
+        let (rc, rf) = (rel(classic.self_join_size()), rel(fast.self_join_size()));
+        assert!(
+            rf < rc + 0.3,
+            "fast variant should be in the same accuracy class: classic {rc}, fast {rf}"
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! k-wise independent hash families.
+//!
+//! Degree-`(k−1)` polynomials with random coefficients over the Mersenne
+//! prime field `GF(2⁶¹ − 1)` are k-wise independent; AGMS sketches need the
+//! four-wise family for their variance bound, Bloom indexes get by with the
+//! pairwise one. All randomness is derived deterministically from a caller
+//! seed via SplitMix64 so that two sketches built from the same seed are
+//! mergeable/joinable across nodes without shipping coefficient tables.
+
+use serde::{Deserialize, Serialize};
+
+/// The Mersenne prime `2⁶¹ − 1`.
+pub const MERSENNE_61: u64 = (1 << 61) - 1;
+
+/// A deterministic seed-expansion PRNG (SplitMix64).
+///
+/// Used internally to derive hash coefficients; exposed because workload
+/// generators in sibling crates also want cheap deterministic streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next value uniform in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // bounds far below 2^64.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Next `f64` uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Multiplication in `GF(2⁶¹ − 1)`.
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    let prod = a as u128 * b as u128;
+    let lo = (prod & MERSENNE_61 as u128) as u64;
+    let hi = (prod >> 61) as u64;
+    let mut s = lo + hi;
+    if s >= MERSENNE_61 {
+        s -= MERSENNE_61;
+    }
+    s
+}
+
+/// Addition in `GF(2⁶¹ − 1)`.
+#[inline]
+fn add_mod(a: u64, b: u64) -> u64 {
+    let mut s = a + b;
+    if s >= MERSENNE_61 {
+        s -= MERSENNE_61;
+    }
+    s
+}
+
+/// A k-wise independent polynomial hash `h(x) = Σ cᵢ·xⁱ mod (2⁶¹−1)`.
+///
+/// ```
+/// use dsj_sketch::PolyHash;
+///
+/// let h = PolyHash::four_wise(42);
+/// // Deterministic: the same seed yields the same function.
+/// assert_eq!(h.hash(123), PolyHash::four_wise(42).hash(123));
+/// // Signs are ±1.
+/// assert!(h.sign(7) == 1 || h.sign(7) == -1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolyHash {
+    coeffs: Vec<u64>,
+}
+
+impl PolyHash {
+    /// A k-wise independent hash derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn k_wise(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "independence degree must be positive");
+        let mut rng = SplitMix64::new(seed ^ 0xA076_1D64_78BD_642F);
+        let coeffs = (0..k)
+            .map(|_| rng.next_u64() % MERSENNE_61)
+            .collect();
+        PolyHash { coeffs }
+    }
+
+    /// A pairwise independent hash (degree-1 polynomial).
+    pub fn pairwise(seed: u64) -> Self {
+        PolyHash::k_wise(2, seed)
+    }
+
+    /// A four-wise independent hash (degree-3 polynomial) — the family AGMS
+    /// sketches require for their variance guarantee.
+    pub fn four_wise(seed: u64) -> Self {
+        PolyHash::k_wise(4, seed)
+    }
+
+    /// The independence degree `k`.
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Hash of `x`, uniform over `[0, 2⁶¹ − 1)`.
+    pub fn hash(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_61;
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = add_mod(mul_mod(acc, x), c);
+        }
+        acc
+    }
+
+    /// Hash of `x`, mapped uniformly into `[0, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn hash_to_range(&self, x: u64, m: u64) -> u64 {
+        assert!(m > 0, "range must be positive");
+        ((self.hash(x) as u128 * m as u128) >> 61) as u64
+    }
+
+    /// A ±1 value derived from the hash (the AGMS `ξ` variable).
+    pub fn sign(&self, x: u64) -> i64 {
+        if self.hash(x) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_bounds_respected() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            assert!(rng.next_below(17) < 17);
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn field_arithmetic_sane() {
+        assert_eq!(mul_mod(MERSENNE_61 - 1, 1), MERSENNE_61 - 1);
+        assert_eq!(add_mod(MERSENNE_61 - 1, 1), 0);
+        // (p-1)·(p-1) mod p = 1 since p-1 ≡ -1.
+        assert_eq!(mul_mod(MERSENNE_61 - 1, MERSENNE_61 - 1), 1);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_seed_sensitive() {
+        let h1 = PolyHash::four_wise(5);
+        let h2 = PolyHash::four_wise(5);
+        let h3 = PolyHash::four_wise(6);
+        assert_eq!(h1.hash(1000), h2.hash(1000));
+        let same = (0..64).filter(|&x| h1.hash(x) == h3.hash(x)).count();
+        assert!(same < 4, "different seeds should rarely collide");
+    }
+
+    #[test]
+    fn signs_are_roughly_balanced() {
+        let h = PolyHash::four_wise(11);
+        let pos = (0..10_000u64).filter(|&x| h.sign(x) == 1).count();
+        assert!(
+            (4_000..6_000).contains(&pos),
+            "sign bias too strong: {pos}/10000"
+        );
+    }
+
+    #[test]
+    fn range_hash_covers_buckets() {
+        let h = PolyHash::pairwise(3);
+        let m = 16u64;
+        let mut hit = vec![false; m as usize];
+        for x in 0..2_000 {
+            hit[h.hash_to_range(x, m) as usize] = true;
+        }
+        assert!(hit.iter().all(|&b| b), "every bucket should be reachable");
+    }
+
+    #[test]
+    fn pairwise_uniformity_chi_squared() {
+        let h = PolyHash::pairwise(77);
+        let m = 32usize;
+        let n = 32_000u64;
+        let mut counts = vec![0f64; m];
+        for x in 0..n {
+            counts[h.hash_to_range(x, m as u64) as usize] += 1.0;
+        }
+        let expect = n as f64 / m as f64;
+        let chi2: f64 = counts.iter().map(|c| (c - expect) * (c - expect) / expect).sum();
+        // 31 degrees of freedom; 99.9th percentile is ~61.1.
+        assert!(chi2 < 62.0, "chi² too large: {chi2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "independence degree must be positive")]
+    fn zero_degree_rejected() {
+        PolyHash::k_wise(0, 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Stream summary substrate for `dsjoin`: the two baseline summaries the
+//! paper compares DFT flow filtering against (Section 6).
+//!
+//! * [`AgmsSketch`] — the AGMS "tug-of-war" sketch of Alon, Gibbons, Matias
+//!   and Szegedy, used by the **SKCH** algorithm to estimate pairwise
+//!   partition join sizes.
+//! * [`CountingBloomFilter`] — a counting Bloom filter, used by the
+//!   **BLOOM** algorithm for remote set-membership testing.
+//! * [`hash`] — k-wise independent polynomial hash families over the
+//!   Mersenne prime `2⁶¹ − 1` backing both summaries.
+//!
+//! Both summaries expose [`size_bytes`](AgmsSketch::size_bytes) so
+//! experiments can equalize summary sizes across DFT coefficients, sketches
+//! and Bloom filters, as the paper does.
+
+pub mod agms;
+pub mod bloom;
+pub mod fast_agms;
+pub mod hash;
+
+pub use agms::AgmsSketch;
+pub use bloom::CountingBloomFilter;
+pub use fast_agms::FastAgmsSketch;
+pub use hash::PolyHash;

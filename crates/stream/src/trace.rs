@@ -1,0 +1,246 @@
+//! Recording and replaying arrival traces.
+//!
+//! The paper's FIN and NWRK workloads are *recorded* traces replayed into
+//! the system. This module gives the same capability: capture any
+//! generator's output to a compact binary file and replay it later —
+//! byte-identical across machines, so experiments on "real" data are
+//! reproducible without shipping the generator's parameters around.
+//!
+//! Format: a 16-byte header (`magic`, `version`, arrival count) followed
+//! by fixed 11-byte little-endian records
+//! `(stream: u8, key: u32, seq_delta: implicit, node: u16, pad: u32 -> key)`.
+
+use crate::gen::Arrival;
+use crate::tuple::StreamId;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"DSJTRACE";
+const VERSION: u32 = 1;
+/// Bytes per record: stream (1) + key (4) + node (2).
+const RECORD_BYTES: usize = 7;
+
+/// A recorded sequence of arrivals.
+///
+/// ```no_run
+/// use dsj_stream::gen::{ArrivalGen, WorkloadKind};
+/// use dsj_stream::partition::Partitioner;
+/// use dsj_stream::trace::Trace;
+///
+/// let mut gen = ArrivalGen::new(
+///     WorkloadKind::Financial,
+///     Partitioner::geographic(4, 0.8),
+///     1 << 12,
+///     7,
+/// );
+/// let trace = Trace::record(&mut gen, 10_000);
+/// trace.save("fin.trace")?;
+/// let replayed = Trace::load("fin.trace")?;
+/// assert_eq!(trace, replayed);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    arrivals: Vec<Arrival>,
+}
+
+impl Trace {
+    /// Records `n` arrivals from any arrival iterator.
+    pub fn record<I: Iterator<Item = Arrival>>(source: &mut I, n: usize) -> Self {
+        Trace {
+            arrivals: source.take(n).collect(),
+        }
+    }
+
+    /// Wraps an existing arrival list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sequence numbers are not consecutive from zero — replay
+    /// semantics depend on them.
+    pub fn from_arrivals(arrivals: Vec<Arrival>) -> Self {
+        for (i, a) in arrivals.iter().enumerate() {
+            assert_eq!(a.seq, i as u64, "trace sequence numbers must be dense");
+        }
+        Trace { arrivals }
+    }
+
+    /// Number of recorded arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The recorded arrivals, in order.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Iterates over the recorded arrivals (replay).
+    pub fn iter(&self) -> impl Iterator<Item = Arrival> + '_ {
+        self.arrivals.iter().copied()
+    }
+
+    /// Writes the trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating or writing the file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.arrivals.len() as u64).to_le_bytes())?;
+        for a in &self.arrivals {
+            w.write_all(&[match a.stream {
+                StreamId::R => 0u8,
+                StreamId::S => 1u8,
+            }])?;
+            w.write_all(&a.key.to_le_bytes())?;
+            w.write_all(&a.node.to_le_bytes())?;
+        }
+        w.flush()
+    }
+
+    /// Reads a trace from `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] when the header or a
+    /// record is malformed.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a dsjoin trace file",
+            ));
+        }
+        let mut buf4 = [0u8; 4];
+        r.read_exact(&mut buf4)?;
+        let version = u32::from_le_bytes(buf4);
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {version}"),
+            ));
+        }
+        let mut buf8 = [0u8; 8];
+        r.read_exact(&mut buf8)?;
+        let count = u64::from_le_bytes(buf8) as usize;
+        let mut arrivals = Vec::with_capacity(count.min(1 << 24));
+        let mut rec = [0u8; RECORD_BYTES];
+        for seq in 0..count as u64 {
+            r.read_exact(&mut rec)?;
+            let stream = match rec[0] {
+                0 => StreamId::R,
+                1 => StreamId::S,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad stream tag {other}"),
+                    ))
+                }
+            };
+            let key = u32::from_le_bytes([rec[1], rec[2], rec[3], rec[4]]);
+            let node = u16::from_le_bytes([rec[5], rec[6]]);
+            arrivals.push(Arrival {
+                stream,
+                key,
+                seq,
+                node,
+            });
+        }
+        Ok(Trace { arrivals })
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = Arrival;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Arrival>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.arrivals.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{ArrivalGen, WorkloadKind};
+    use crate::partition::Partitioner;
+
+    fn sample_gen(seed: u64) -> ArrivalGen {
+        ArrivalGen::new(
+            WorkloadKind::Network,
+            Partitioner::geographic(4, 0.8),
+            1 << 12,
+            seed,
+        )
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dsjoin-trace-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn record_and_replay_round_trip() {
+        let mut gen = sample_gen(1);
+        let trace = Trace::record(&mut gen, 1_000);
+        assert_eq!(trace.len(), 1_000);
+        let path = temp_path("roundtrip");
+        trace.save(&path).unwrap();
+        let loaded = Trace::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(trace, loaded);
+        // Replay order and contents.
+        for (a, b) in trace.iter().zip(loaded.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, b"definitely not a trace").unwrap();
+        let err = Trace::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::default();
+        let path = temp_path("empty");
+        trace.save(&path).unwrap();
+        let loaded = Trace::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn from_arrivals_validates_sequences() {
+        let mut gen = sample_gen(2);
+        let good = gen.take_vec(50);
+        let trace = Trace::from_arrivals(good);
+        assert_eq!(trace.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace sequence numbers must be dense")]
+    fn sparse_sequences_rejected() {
+        let mut gen = sample_gen(3);
+        let mut arrivals = gen.take_vec(10);
+        arrivals.remove(4);
+        Trace::from_arrivals(arrivals);
+    }
+}

@@ -1,0 +1,46 @@
+//! The prototype mode: run the distributed join as real concurrent
+//! threads, like the paper's C++ prototype, and compare against the
+//! deterministic WAN simulation of the same configuration.
+//!
+//! ```text
+//! cargo run --release --example live_cluster
+//! ```
+
+use dsjoin::core::{Algorithm, ClusterConfig};
+use dsjoin::runtime::LiveCluster;
+use dsjoin::stream::gen::WorkloadKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ClusterConfig::new(8, Algorithm::Dftt)
+        .window(512)
+        .domain(1 << 11)
+        .tuples(40_000)
+        .workload(WorkloadKind::Zipf { alpha: 0.4 })
+        .seed(17);
+
+    println!("== live threaded cluster (8 node threads, channel links) ==");
+    let live = LiveCluster::run(&cfg)?;
+    println!("exact result size   : {}", live.truth_matches);
+    println!("reported            : {}", live.reported_matches);
+    println!("epsilon             : {:.3}", live.epsilon);
+    println!("messages            : {}", live.messages);
+    println!("wall time           : {:?}", live.wall_time);
+    println!("tuples/second (real): {:.0}", live.tuples_per_sec);
+
+    println!("\n== same configuration under the simulated WAN ==");
+    let sim = cfg.run()?;
+    println!("epsilon             : {:.3}", sim.epsilon);
+    println!("messages            : {}", sim.messages);
+    println!(
+        "virtual duration    : {:.2}s at 20-100ms latency / 90kbps links",
+        sim.duration_secs
+    );
+
+    println!(
+        "\nThe live cluster's error ({:.3}) lower-bounds the simulated WAN's ({:.3}):",
+        live.epsilon, sim.epsilon
+    );
+    println!("with instant links nothing goes stale in flight, so what remains is the");
+    println!("approximation itself — the routing decisions the DFT summaries make.");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Distributed network-traffic cross-referencing — the paper's security
+//! motivation: tracking malicious packets flowing across multiple domains.
+//!
+//! Packet streams observed at different vantage points are joined on the
+//! flow identifier; a flow seen at two monitors within the window is a
+//! cross-domain correlation hit. NWRK traffic is bursty and heavy-tailed,
+//! so membership-based routing (DFTT/BLOOM) shines: most flows are local,
+//! and only the heavy hitters cross domains.
+//!
+//! ```text
+//! cargo run --release --example network_monitor
+//! ```
+
+use dsjoin::core::{Algorithm, ClusterConfig};
+use dsjoin::stream::gen::WorkloadKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("monitoring 10 network domains, bursty heavy-tailed flows (NWRK)\n");
+    println!(
+        "{:>6} {:>9} {:>8} {:>10} {:>10} {:>9}",
+        "algo", "matches", "eps", "messages", "msgs/res", "fallback"
+    );
+    let mut base_msgs = 0u64;
+    for algorithm in [
+        Algorithm::Base,
+        Algorithm::Dft,
+        Algorithm::Dftt,
+        Algorithm::Bloom,
+        Algorithm::Sketch,
+    ] {
+        let report = ClusterConfig::new(10, algorithm)
+            .workload(WorkloadKind::Network)
+            .window(512)
+            .domain(1 << 12)
+            .tuples(20_000)
+            .locality(0.8)
+            .kappa(64)
+            .seed(2025)
+            .run()?;
+        if algorithm == Algorithm::Base {
+            base_msgs = report.messages;
+        }
+        println!(
+            "{:>6} {:>9} {:>8.3} {:>10} {:>10.2} {:>8.1}%",
+            report.algorithm.label(),
+            report.reported_matches,
+            report.epsilon,
+            report.messages,
+            report.messages_per_result,
+            100.0 * report.fallback_fraction,
+        );
+    }
+    println!(
+        "\n(BASE transmits {base_msgs} messages; the approximate algorithms trade a bounded"
+    );
+    println!("fraction of cross-domain hits for an order of magnitude less traffic.)");
+    Ok(())
+}

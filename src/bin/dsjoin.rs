@@ -1,0 +1,57 @@
+//! `dsjoin` — run one distributed approximate-join experiment from the
+//! command line. See `dsjoin --help`.
+
+use dsjoin::cli::{parse, Command, USAGE};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (config, calibrate) = match command {
+        Command::Help => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Command::Run { config, calibrate } => (config, calibrate),
+    };
+
+    let outcome = match calibrate {
+        Some(eps) => config.run_at_epsilon(eps).map(|(report, target)| {
+            println!("# calibrated message-complexity target: {target:.2}");
+            report
+        }),
+        None => config.run(),
+    };
+    let report = match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("algorithm            : {}", report.algorithm);
+    println!("workload             : {}", report.workload);
+    println!("nodes                : {}", report.n);
+    println!("window / domain      : {} / {}", report.window, report.domain);
+    println!("tuples               : {}", report.tuples);
+    println!("exact result size    : {}", report.truth_matches);
+    println!("reported results     : {}", report.reported_matches);
+    println!("epsilon              : {:.4}", report.epsilon);
+    println!("messages             : {}", report.messages);
+    println!("messages per result  : {:.3}", report.messages_per_result);
+    println!("msgs per tuple       : {:.3}", report.msgs_per_tuple);
+    println!("bytes (data+summary) : {} ({} + {})", report.bytes, report.data_bytes, report.overhead_bytes);
+    println!("overhead ratio       : {:.2}%", 100.0 * report.overhead_ratio);
+    println!("fallback fraction    : {:.2}%", 100.0 * report.fallback_fraction);
+    println!("load imbalance       : {:.2}", report.load_imbalance);
+    println!("virtual duration     : {:.3}s", report.duration_secs);
+    println!("throughput           : {:.1} results/s", report.throughput);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,100 @@
+//! Measured behaviour versus the closed-form bounds of Section 5.2.2.
+
+use dsjoin::core::theory;
+use dsjoin::core::{Algorithm, ClusterConfig, TargetComplexity};
+use dsjoin::stream::gen::WorkloadKind;
+
+/// Uniform data at `T = 1`: the measured error must track the Theorem 1
+/// bound `1 − 2/N` (local partners plus one remote visit).
+#[test]
+fn uniform_t1_tracks_theorem1() {
+    for n in [4u16, 8] {
+        let r = ClusterConfig::new(n, Algorithm::Dft)
+            .workload(WorkloadKind::Uniform)
+            .locality(0.0)
+            .window(256)
+            .domain(1 << 10)
+            .tuples(6_000)
+            .target(TargetComplexity::Constant(1.0))
+            .seed(3)
+            .run()
+            .expect("valid configuration");
+        let bound = theory::uniform_error_bound_t1(n);
+        assert!(
+            (r.epsilon - bound).abs() < 0.15,
+            "N={n}: measured {} vs bound {bound}",
+            r.epsilon
+        );
+    }
+}
+
+/// More budget can only help: measured ε at `T = log N` must sit at or
+/// below the Theorem 1 regime.
+#[test]
+fn uniform_tlog_improves_on_t1() {
+    let n = 8;
+    let t1 = ClusterConfig::new(n, Algorithm::Dft)
+        .workload(WorkloadKind::Uniform)
+        .locality(0.0)
+        .window(256)
+        .domain(1 << 10)
+        .tuples(6_000)
+        .target(TargetComplexity::Constant(1.0))
+        .seed(3)
+        .run()
+        .expect("valid configuration");
+    let tlog = ClusterConfig::new(n, Algorithm::Dft)
+        .workload(WorkloadKind::Uniform)
+        .locality(0.0)
+        .window(256)
+        .domain(1 << 10)
+        .tuples(6_000)
+        .target(TargetComplexity::LogN)
+        .seed(3)
+        .run()
+        .expect("valid configuration");
+    assert!(tlog.epsilon < t1.epsilon);
+    // And roughly in the Theorem 2 regime.
+    let bound = theory::uniform_error_bound_tlog(n);
+    assert!(
+        (tlog.epsilon - bound).abs() < 0.2,
+        "measured {} vs bound {bound}",
+        tlog.epsilon
+    );
+}
+
+/// Under skew the measured error beats the uniform worst-case bound by a
+/// wide margin — the whole point of correlation-aware routing.
+#[test]
+fn skew_beats_uniform_bound() {
+    let n = 8;
+    let r = ClusterConfig::new(n, Algorithm::Dftt)
+        .window(256)
+        .domain(1 << 10)
+        .tuples(6_000)
+        .target(TargetComplexity::LogN)
+        .seed(3)
+        .run()
+        .expect("valid configuration");
+    assert!(
+        r.epsilon < theory::uniform_error_bound_tlog(n) - 0.2,
+        "skewed eps {} should beat the uniform bound {}",
+        r.epsilon,
+        theory::uniform_error_bound_tlog(n)
+    );
+}
+
+/// The analytic message-complexity table matches the simulated BASE cost.
+#[test]
+fn base_messages_match_formula() {
+    for n in [3u16, 5] {
+        let r = ClusterConfig::new(n, Algorithm::Base)
+            .window(128)
+            .domain(1 << 9)
+            .tuples(2_000)
+            .seed(3)
+            .run()
+            .expect("valid configuration");
+        assert!((r.msgs_per_tuple - theory::messages_base(n)).abs() < 1e-9);
+    }
+}

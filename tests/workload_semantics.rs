@@ -1,0 +1,136 @@
+//! Workload-level semantic checks: each synthetic trace must reproduce the
+//! statistical structure its real-world counterpart is standing in for
+//! (DESIGN.md §2), all the way through the distributed join.
+
+use dsjoin::core::{Algorithm, ClusterConfig};
+use dsjoin::stream::gen::{ArrivalGen, WorkloadKind};
+use dsjoin::stream::partition::Partitioner;
+use dsjoin::stream::StreamId;
+use std::collections::HashMap;
+
+fn quick(workload: WorkloadKind) -> ClusterConfig {
+    ClusterConfig::new(4, Algorithm::Base)
+        .window(256)
+        .domain(1 << 10)
+        .tuples(4_000)
+        .workload(workload)
+        .seed(77)
+}
+
+/// FIN: bids and asks straddle a common mid price, so the join selectivity
+/// is far above uniform-random — the arbitrage signal the paper's intro
+/// motivates.
+#[test]
+fn financial_workload_joins_densely() {
+    let fin = quick(WorkloadKind::Financial).run().unwrap();
+    let uni = quick(WorkloadKind::Uniform).run().unwrap();
+    let fin_rate = fin.truth_matches as f64 / fin.tuples as f64;
+    let uni_rate = uni.truth_matches as f64 / uni.tuples as f64;
+    assert!(
+        fin_rate > 3.0 * uni_rate,
+        "bid/ask collisions should dwarf uniform selectivity: {fin_rate} vs {uni_rate}"
+    );
+}
+
+/// NWRK: heavy-hitter flows dominate the result set, and the same flow
+/// appears on both streams (cross-referenced packets).
+#[test]
+fn network_workload_is_heavy_tailed() {
+    let mut gen = ArrivalGen::new(
+        WorkloadKind::Network,
+        Partitioner::geographic(4, 0.8),
+        1 << 10,
+        7,
+    );
+    let mut per_key: HashMap<u32, usize> = HashMap::new();
+    for a in gen.take_vec(20_000) {
+        *per_key.entry(a.key).or_insert(0) += 1;
+    }
+    let mut counts: Vec<usize> = per_key.values().copied().collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let top5: usize = counts.iter().take(5).sum();
+    assert!(
+        top5 * 3 > 20_000,
+        "top-5 flows should carry over a third of the packets: {top5}"
+    );
+}
+
+/// Both streams of every workload reach every node (the paper's model:
+/// each stream is distributed across all N nodes).
+#[test]
+fn both_streams_reach_every_node() {
+    for workload in [
+        WorkloadKind::Uniform,
+        WorkloadKind::Zipf { alpha: 0.4 },
+        WorkloadKind::Financial,
+        WorkloadKind::Network,
+    ] {
+        let mut gen = ArrivalGen::new(workload, Partitioner::geographic(4, 0.8), 1 << 10, 3);
+        let mut seen = [[false; 2]; 4];
+        for a in gen.take_vec(8_000) {
+            seen[a.node as usize][a.stream.index()] = true;
+        }
+        for (node, streams) in seen.iter().enumerate() {
+            assert!(
+                streams[StreamId::R.index()] && streams[StreamId::S.index()],
+                "{workload:?}: node {node} missing a stream"
+            );
+        }
+    }
+}
+
+/// Summary sizes really are equalized across the three summary-bearing
+/// algorithms: their per-sync overhead bytes land within a small factor of
+/// each other at the same κ.
+#[test]
+fn summary_budgets_equalized_across_algorithms() {
+    let overhead = |alg: Algorithm| {
+        let mut cfg = quick(WorkloadKind::Zipf { alpha: 0.4 }).kappa(64);
+        cfg.algorithm = alg;
+        cfg.run().unwrap().overhead_bytes
+    };
+    let dft = overhead(Algorithm::Dftt);
+    let bloom = overhead(Algorithm::Bloom);
+    let skch = overhead(Algorithm::Sketch);
+    for (name, bytes) in [("BLOOM", bloom), ("SKCH", skch)] {
+        let ratio = bytes as f64 / dft.max(1) as f64;
+        assert!(
+            (0.1..10.0).contains(&ratio),
+            "{name} overhead {bytes} vs DFTT {dft} — budgets should be comparable"
+        );
+    }
+}
+
+/// Raising geographic locality concentrates matches locally and lets the
+/// approximate algorithms do strictly better.
+#[test]
+fn locality_helps_approximation() {
+    let run = |loc: f64| {
+        let mut cfg = quick(WorkloadKind::Zipf { alpha: 0.4 }).locality(loc);
+        cfg.algorithm = Algorithm::Dftt;
+        cfg.run().unwrap().epsilon
+    };
+    let strong = run(0.9);
+    let weak = run(0.2);
+    assert!(
+        strong < weak,
+        "stronger geographic skew must lower DFTT's error: {strong} vs {weak}"
+    );
+}
+
+/// The Zipf skew dial behaves: higher α concentrates ground-truth matches.
+#[test]
+fn zipf_alpha_concentrates_matches() {
+    let truth = |alpha: f64| {
+        quick(WorkloadKind::Zipf { alpha })
+            .run()
+            .unwrap()
+            .truth_matches
+    };
+    let mild = truth(0.2);
+    let strong = truth(0.9);
+    assert!(
+        strong > mild,
+        "hotter keys mean more collisions: alpha 0.9 -> {strong}, 0.2 -> {mild}"
+    );
+}
