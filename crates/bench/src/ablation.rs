@@ -13,6 +13,7 @@
 
 use crate::figures::PAPER_ALPHA;
 use crate::scale::Scale;
+use crate::suite::Executor;
 use dsj_core::{Algorithm, ClusterConfig, FlowParams, RunError};
 use dsj_dft::{CompressedDft, Selection};
 use dsj_simnet::LinkConfig;
@@ -83,27 +84,33 @@ pub struct FreshnessRow {
 ///
 /// Propagates [`RunError`] from the cluster runs.
 pub fn sync_freshness(scale: Scale) -> Result<Vec<FreshnessRow>, RunError> {
-    [32u32, 128, 512, 2048]
-        .into_iter()
-        .map(|sent| {
-            // 3x the figure workload so the one-off bootstrap summaries
-            // amortize and the steady-state trade-off shows.
-            let r = ClusterConfig::new(8, Algorithm::Dftt)
-                .window(scale.window())
-                .domain(scale.domain())
-                .tuples(3 * scale.tuples())
-                .workload(WorkloadKind::Zipf { alpha: PAPER_ALPHA })
-                .kappa(scale.figure_kappa())
-                .sync_intervals(sent, 8 * scale.window() as u32)
-                .seed(2007)
-                .run()?;
-            Ok(FreshnessRow {
-                sent_interval: sent,
-                epsilon: r.epsilon,
-                overhead_ratio: r.overhead_ratio,
-            })
+    sync_freshness_with(scale, &Executor::serial())
+}
+
+/// [`sync_freshness`], fanning the sync-interval cells across `exec`.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the cluster runs.
+pub fn sync_freshness_with(scale: Scale, exec: &Executor) -> Result<Vec<FreshnessRow>, RunError> {
+    exec.try_map(vec![32u32, 128, 512, 2048], |_, sent| {
+        // 3x the figure workload so the one-off bootstrap summaries
+        // amortize and the steady-state trade-off shows.
+        let r = ClusterConfig::new(8, Algorithm::Dftt)
+            .window(scale.window())
+            .domain(scale.domain())
+            .tuples(3 * scale.tuples())
+            .workload(WorkloadKind::Zipf { alpha: PAPER_ALPHA })
+            .kappa(scale.figure_kappa())
+            .sync_intervals(sent, 8 * scale.window() as u32)
+            .seed(2007)
+            .run()?;
+        Ok(FreshnessRow {
+            sent_interval: sent,
+            epsilon: r.epsilon,
+            overhead_ratio: r.overhead_ratio,
         })
-        .collect()
+    })
 }
 
 /// One threshold × workload cell of the detector ablation.
@@ -126,34 +133,45 @@ pub struct DetectorRow {
 ///
 /// Propagates [`RunError`] from the cluster runs.
 pub fn detector(scale: Scale) -> Result<Vec<DetectorRow>, RunError> {
-    let mut rows = Vec::new();
+    detector_with(scale, &Executor::serial())
+}
+
+/// [`detector`], fanning the (workload, threshold) cells across `exec`.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the cluster runs.
+pub fn detector_with(scale: Scale, exec: &Executor) -> Result<Vec<DetectorRow>, RunError> {
+    let mut cells = Vec::new();
     for (workload, locality) in [
         (WorkloadKind::Uniform, 0.0),
         (WorkloadKind::Zipf { alpha: PAPER_ALPHA }, 0.8),
     ] {
         for threshold in [0.0, 0.02, 0.05, 0.2, 0.5] {
-            let r = ClusterConfig::new(8, Algorithm::Dft)
-                .window(scale.window())
-                .domain(scale.domain())
-                .tuples(scale.tuples())
-                .workload(workload)
-                .locality(locality)
-                .kappa(scale.figure_kappa())
-                .flow(FlowParams {
-                    uniform_cv_threshold: threshold,
-                    ..FlowParams::default()
-                })
-                .seed(2007)
-                .run()?;
-            rows.push(DetectorRow {
-                workload: workload.label().to_string(),
-                threshold,
-                epsilon: r.epsilon,
-                fallback_fraction: r.fallback_fraction,
-            });
+            cells.push((workload, locality, threshold));
         }
     }
-    Ok(rows)
+    exec.try_map(cells, |_, (workload, locality, threshold)| {
+        let r = ClusterConfig::new(8, Algorithm::Dft)
+            .window(scale.window())
+            .domain(scale.domain())
+            .tuples(scale.tuples())
+            .workload(workload)
+            .locality(locality)
+            .kappa(scale.figure_kappa())
+            .flow(FlowParams {
+                uniform_cv_threshold: threshold,
+                ..FlowParams::default()
+            })
+            .seed(2007)
+            .run()?;
+        Ok(DetectorRow {
+            workload: workload.label().to_string(),
+            threshold,
+            epsilon: r.epsilon,
+            fallback_fraction: r.fallback_fraction,
+        })
+    })
 }
 
 /// One budget cell of the governor ablation.
@@ -175,28 +193,34 @@ pub struct GovernorRow {
 ///
 /// Propagates [`RunError`] from the cluster runs.
 pub fn governor(scale: Scale) -> Result<Vec<GovernorRow>, RunError> {
-    [0u64, 10_000, 20_000, 40_000, 80_000]
-        .into_iter()
-        .map(|budget| {
-            let mut cfg = ClusterConfig::new(8, Algorithm::Dft)
-                .window(scale.window())
-                .domain(scale.domain())
-                .tuples(scale.tuples())
-                .workload(WorkloadKind::Zipf { alpha: PAPER_ALPHA })
-                .kappa(scale.figure_kappa())
-                .target(dsj_core::TargetComplexity::LogN)
-                .seed(2007);
-            if budget > 0 {
-                cfg = cfg.bandwidth_budget(budget);
-            }
-            let r = cfg.run()?;
-            Ok(GovernorRow {
-                budget_bps: budget,
-                msgs_per_tuple: r.msgs_per_tuple,
-                epsilon: r.epsilon,
-            })
+    governor_with(scale, &Executor::serial())
+}
+
+/// [`governor`], fanning the bandwidth-budget cells across `exec`.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the cluster runs.
+pub fn governor_with(scale: Scale, exec: &Executor) -> Result<Vec<GovernorRow>, RunError> {
+    exec.try_map(vec![0u64, 10_000, 20_000, 40_000, 80_000], |_, budget| {
+        let mut cfg = ClusterConfig::new(8, Algorithm::Dft)
+            .window(scale.window())
+            .domain(scale.domain())
+            .tuples(scale.tuples())
+            .workload(WorkloadKind::Zipf { alpha: PAPER_ALPHA })
+            .kappa(scale.figure_kappa())
+            .target(dsj_core::TargetComplexity::LogN)
+            .seed(2007);
+        if budget > 0 {
+            cfg = cfg.bandwidth_budget(budget);
+        }
+        let r = cfg.run()?;
+        Ok(GovernorRow {
+            budget_bps: budget,
+            msgs_per_tuple: r.msgs_per_tuple,
+            epsilon: r.epsilon,
         })
-        .collect()
+    })
 }
 
 /// One loss-probability cell of the loss ablation.
@@ -217,26 +241,37 @@ pub struct LossRow {
 ///
 /// Propagates [`RunError`] from the cluster runs.
 pub fn loss(scale: Scale) -> Result<Vec<LossRow>, RunError> {
-    let mut rows = Vec::new();
+    loss_with(scale, &Executor::serial())
+}
+
+/// [`loss`], fanning the (algorithm, loss-probability) cells across `exec`.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the cluster runs.
+pub fn loss_with(scale: Scale, exec: &Executor) -> Result<Vec<LossRow>, RunError> {
+    let mut cells = Vec::new();
     for algorithm in [Algorithm::Base, Algorithm::Dftt] {
         for p in [0.0, 0.02, 0.1, 0.3] {
-            let r = ClusterConfig::new(6, algorithm)
-                .window(scale.window())
-                .domain(scale.domain())
-                .tuples(scale.tuples())
-                .workload(WorkloadKind::Zipf { alpha: PAPER_ALPHA })
-                .kappa(scale.figure_kappa())
-                .link(LinkConfig::paper_wan().with_loss(p))
-                .seed(2007)
-                .run()?;
-            rows.push(LossRow {
-                algorithm,
-                loss: p,
-                epsilon: r.epsilon,
-            });
+            cells.push((algorithm, p));
         }
     }
-    Ok(rows)
+    exec.try_map(cells, |_, (algorithm, p)| {
+        let r = ClusterConfig::new(6, algorithm)
+            .window(scale.window())
+            .domain(scale.domain())
+            .tuples(scale.tuples())
+            .workload(WorkloadKind::Zipf { alpha: PAPER_ALPHA })
+            .kappa(scale.figure_kappa())
+            .link(LinkConfig::paper_wan().with_loss(p))
+            .seed(2007)
+            .run()?;
+        Ok(LossRow {
+            algorithm,
+            loss: p,
+            epsilon: r.epsilon,
+        })
+    })
 }
 
 #[cfg(test)]
@@ -274,7 +309,14 @@ mod tests {
             .iter()
             .filter(|r| r.algorithm == Algorithm::Base)
             .collect();
-        assert!(base.last().unwrap().epsilon > base.first().unwrap().epsilon + 0.1);
+        for pair in base.windows(2) {
+            assert!(
+                pair[1].epsilon > pair[0].epsilon,
+                "error must grow with loss: {:?}",
+                base
+            );
+        }
+        assert!(base.last().unwrap().epsilon > base.first().unwrap().epsilon + 0.05);
     }
 
     #[test]
@@ -284,7 +326,10 @@ mod tests {
             .iter()
             .find(|r| r.workload == "UNI" && r.threshold == 0.0)
             .unwrap();
-        assert!(uni_off.fallback_fraction < 0.1, "threshold 0 disables detection");
+        assert!(
+            uni_off.fallback_fraction < 0.1,
+            "threshold 0 disables detection"
+        );
         let uni_on = rows
             .iter()
             .find(|r| r.workload == "UNI" && r.threshold == 0.05)

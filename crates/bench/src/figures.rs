@@ -1,6 +1,7 @@
 //! Regenerators for every figure of the paper's evaluation.
 
 use crate::scale::Scale;
+use crate::suite::Executor;
 use dsj_core::theory::{self, BoundsRow};
 use dsj_core::{Algorithm, ClusterConfig, RunError, TargetComplexity};
 use dsj_dft::compress::{retained_for, CompressedDft};
@@ -135,22 +136,27 @@ pub struct Fig8Row {
 ///
 /// Propagates [`RunError`] from the cluster runs.
 pub fn fig8(scale: Scale) -> Result<Vec<Fig8Row>, RunError> {
-    scale
-        .node_sweep()
-        .into_iter()
-        .filter(|&n| n >= 2)
-        .map(|n| {
-            let r = cluster(scale, n, Algorithm::Dft)
-                .target(TargetComplexity::LogN)
-                .run()?;
-            Ok(Fig8Row {
-                n,
-                overhead_pct: 100.0 * r.overhead_ratio,
-                overhead_bytes: r.overhead_bytes,
-                data_bytes: r.data_bytes,
-            })
+    fig8_with(scale, &Executor::serial())
+}
+
+/// [`fig8`], fanning the cluster-size cells across `exec`.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the cluster runs.
+pub fn fig8_with(scale: Scale, exec: &Executor) -> Result<Vec<Fig8Row>, RunError> {
+    let cells: Vec<u16> = scale.node_sweep().into_iter().filter(|&n| n >= 2).collect();
+    exec.try_map(cells, |_, n| {
+        let r = cluster(scale, n, Algorithm::Dft)
+            .target(TargetComplexity::LogN)
+            .run()?;
+        Ok(Fig8Row {
+            n,
+            overhead_pct: 100.0 * r.overhead_ratio,
+            overhead_bytes: r.overhead_bytes,
+            data_bytes: r.data_bytes,
         })
-        .collect()
+    })
 }
 
 /// One (workload, N, algorithm) cell of Figure 9.
@@ -177,30 +183,41 @@ pub struct Fig9Row {
 ///
 /// Propagates [`RunError`] from the cluster runs.
 pub fn fig9(scale: Scale) -> Result<Vec<Fig9Row>, RunError> {
-    let mut rows = Vec::new();
+    fig9_with(scale, &Executor::serial())
+}
+
+/// [`fig9`], fanning the (workload, N, algorithm) cells across `exec`.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the cluster runs.
+pub fn fig9_with(scale: Scale, exec: &Executor) -> Result<Vec<Fig9Row>, RunError> {
+    let mut cells = Vec::new();
     for (workload, locality) in [
         (WorkloadKind::Uniform, 0.0),
         (WorkloadKind::Zipf { alpha: PAPER_ALPHA }, 0.8),
     ] {
         for n in scale.node_sweep() {
             for algorithm in Algorithm::ALL {
-                let cfg = cluster(scale, n, algorithm)
-                    .workload(workload)
-                    .locality(locality)
-                    .kappa(scale.figure_kappa());
-                let (r, target) = cfg.run_at_epsilon(PAPER_EPSILON)?;
-                rows.push(Fig9Row {
-                    workload: workload.label().to_string(),
-                    n,
-                    algorithm,
-                    messages_per_result: r.messages_per_result,
-                    epsilon: r.epsilon,
-                    target,
-                });
+                cells.push((workload, locality, n, algorithm));
             }
         }
     }
-    Ok(rows)
+    exec.try_map(cells, |_, (workload, locality, n, algorithm)| {
+        let cfg = cluster(scale, n, algorithm)
+            .workload(workload)
+            .locality(locality)
+            .kappa(scale.figure_kappa());
+        let (r, target) = cfg.run_at_epsilon(PAPER_EPSILON)?;
+        Ok(Fig9Row {
+            workload: workload.label().to_string(),
+            n,
+            algorithm,
+            messages_per_result: r.messages_per_result,
+            epsilon: r.epsilon,
+            target,
+        })
+    })
 }
 
 /// One (κ or N, algorithm) cell of Figure 10.
@@ -223,7 +240,16 @@ pub struct Fig10Row {
 ///
 /// Propagates [`RunError`] from the cluster runs.
 pub fn fig10a(scale: Scale) -> Result<Vec<Fig10Row>, RunError> {
-    let mut rows = Vec::new();
+    fig10a_with(scale, &Executor::serial())
+}
+
+/// [`fig10a`], fanning the (κ, algorithm) cells across `exec`.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the cluster runs.
+pub fn fig10a_with(scale: Scale, exec: &Executor) -> Result<Vec<Fig10Row>, RunError> {
+    let mut cells = Vec::new();
     for kappa in scale.kappa_sweep() {
         for algorithm in [
             Algorithm::Dft,
@@ -231,19 +257,21 @@ pub fn fig10a(scale: Scale) -> Result<Vec<Fig10Row>, RunError> {
             Algorithm::Bloom,
             Algorithm::Sketch,
         ] {
-            let r = cluster(scale, 8, algorithm)
-                .kappa(kappa)
-                .target(TargetComplexity::LogN)
-                .run()?;
-            rows.push(Fig10Row {
-                x: kappa,
-                algorithm,
-                epsilon: r.epsilon,
-                summary_bytes: retained_for(scale.domain() as usize, kappa) * 16,
-            });
+            cells.push((kappa, algorithm));
         }
     }
-    Ok(rows)
+    exec.try_map(cells, |_, (kappa, algorithm)| {
+        let r = cluster(scale, 8, algorithm)
+            .kappa(kappa)
+            .target(TargetComplexity::LogN)
+            .run()?;
+        Ok(Fig10Row {
+            x: kappa,
+            algorithm,
+            epsilon: r.epsilon,
+            summary_bytes: retained_for(scale.domain() as usize, kappa) * 16,
+        })
+    })
 }
 
 /// Figure 10b: error rate versus cluster size at κ = 256, Zipf data.
@@ -252,7 +280,16 @@ pub fn fig10a(scale: Scale) -> Result<Vec<Fig10Row>, RunError> {
 ///
 /// Propagates [`RunError`] from the cluster runs.
 pub fn fig10b(scale: Scale) -> Result<Vec<Fig10Row>, RunError> {
-    let mut rows = Vec::new();
+    fig10b_with(scale, &Executor::serial())
+}
+
+/// [`fig10b`], fanning the (N, algorithm) cells across `exec`.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the cluster runs.
+pub fn fig10b_with(scale: Scale, exec: &Executor) -> Result<Vec<Fig10Row>, RunError> {
+    let mut cells = Vec::new();
     for n in scale.node_sweep() {
         for algorithm in [
             Algorithm::Dft,
@@ -260,18 +297,20 @@ pub fn fig10b(scale: Scale) -> Result<Vec<Fig10Row>, RunError> {
             Algorithm::Bloom,
             Algorithm::Sketch,
         ] {
-            let r = cluster(scale, n, algorithm)
-                .target(TargetComplexity::LogN)
-                .run()?;
-            rows.push(Fig10Row {
-                x: u32::from(n),
-                algorithm,
-                epsilon: r.epsilon,
-                summary_bytes: retained_for(scale.domain() as usize, PAPER_KAPPA) * 16,
-            });
+            cells.push((n, algorithm));
         }
     }
-    Ok(rows)
+    exec.try_map(cells, |_, (n, algorithm)| {
+        let r = cluster(scale, n, algorithm)
+            .target(TargetComplexity::LogN)
+            .run()?;
+        Ok(Fig10Row {
+            x: u32::from(n),
+            algorithm,
+            epsilon: r.epsilon,
+            summary_bytes: retained_for(scale.domain() as usize, PAPER_KAPPA) * 16,
+        })
+    })
 }
 
 /// One (N, algorithm) cell of Figure 11.
@@ -294,33 +333,44 @@ pub struct Fig11Row {
 ///
 /// Propagates [`RunError`] from the cluster runs.
 pub fn fig11(scale: Scale) -> Result<Vec<Fig11Row>, RunError> {
-    let mut rows = Vec::new();
+    fig11_with(scale, &Executor::serial())
+}
+
+/// [`fig11`], fanning the (N, algorithm) cells across `exec`.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the cluster runs.
+pub fn fig11_with(scale: Scale, exec: &Executor) -> Result<Vec<Fig11Row>, RunError> {
+    let mut cells = Vec::new();
     for n in scale.node_sweep() {
         for algorithm in Algorithm::ALL {
-            let cfg = cluster(scale, n, algorithm)
-                .kappa(scale.figure_kappa())
-                // A window 4x the baseline keeps probe staleness (latency
-                // relative to window turnover) negligible, so queueing is
-                // what differentiates the algorithms.
-                .window(scale.window() * 4)
-                // 1200 arrivals/s/node: BASE's per-link rate (1200 msg/s)
-                // exceeds the 562 msg/s a 90 kbps link sustains for 20-byte
-                // tuples, so broadcast queues; filtered algorithms do not.
-                // Results still in flight 300 ms after the stream ends are
-                // lost — sustained-overload semantics.
-                .arrival_rate(1_200.0)
-                .cutoff_grace(300);
-            let grid = [0.5, 1.0, 2.0, 4.0, (n - 1) as f64];
-            let (r, _) = cfg.run_best_effort(PAPER_EPSILON, &grid)?;
-            rows.push(Fig11Row {
-                n,
-                algorithm,
-                throughput: r.throughput,
-                epsilon: r.epsilon,
-            });
+            cells.push((n, algorithm));
         }
     }
-    Ok(rows)
+    exec.try_map(cells, |_, (n, algorithm)| {
+        let cfg = cluster(scale, n, algorithm)
+            .kappa(scale.figure_kappa())
+            // A window 4x the baseline keeps probe staleness (latency
+            // relative to window turnover) negligible, so queueing is
+            // what differentiates the algorithms.
+            .window(scale.window() * 4)
+            // 1200 arrivals/s/node: BASE's per-link rate (1200 msg/s)
+            // exceeds the 562 msg/s a 90 kbps link sustains for 20-byte
+            // tuples, so broadcast queues; filtered algorithms do not.
+            // Results still in flight 300 ms after the stream ends are
+            // lost — sustained-overload semantics.
+            .arrival_rate(1_200.0)
+            .cutoff_grace(300);
+        let grid = [0.5, 1.0, 2.0, 4.0, (n - 1) as f64];
+        let (r, _) = cfg.run_best_effort(PAPER_EPSILON, &grid)?;
+        Ok(Fig11Row {
+            n,
+            algorithm,
+            throughput: r.throughput,
+            epsilon: r.epsilon,
+        })
+    })
 }
 
 /// The shared cluster baseline for the simulation figures.

@@ -25,6 +25,8 @@
 pub mod ablation;
 pub mod figures;
 pub mod scale;
+pub mod suite;
 pub mod table1;
 
 pub use scale::Scale;
+pub use suite::Executor;

@@ -85,11 +85,7 @@ pub fn forwarding_probabilities(rhos: &[Option<f64>], target: f64) -> Option<Vec
         return None;
     }
     let blind = (target / rhos.len() as f64).min(1.0);
-    let known_positive: f64 = rhos
-        .iter()
-        .flatten()
-        .map(|&r| r.max(0.0))
-        .sum();
+    let known_positive: f64 = rhos.iter().flatten().map(|&r| r.max(0.0)).sum();
     if known_positive <= 1e-12 && rhos.iter().any(|r| r.is_some()) {
         return None;
     }
@@ -173,11 +169,17 @@ pub fn detect_uniform(rhos: &[Option<f64>], cv_threshold: f64) -> bool {
 }
 
 /// Samples the set of peers to forward to, one Bernoulli draw per peer.
+///
+/// Exactly one draw is consumed per entry of `probs` — including clamped
+/// certainties (`p >= 1`) and dead peers (`p <= 0`). Short-circuiting
+/// those would shift the RNG stream seen by every later peer whenever a
+/// single probability saturates, making routing decisions depend on
+/// *which* peers were certain rather than only on the seed.
 pub fn sample_recipients(probs: &[f64], rng: &mut StdRng) -> Vec<usize> {
     probs
         .iter()
         .enumerate()
-        .filter(|&(_, &p)| p > 0.0 && (p >= 1.0 || rng.gen_bool(p.min(1.0))))
+        .filter(|&(_, &p)| rng.gen_bool(p.clamp(0.0, 1.0)))
         .map(|(j, _)| j)
         .collect()
 }
@@ -298,6 +300,30 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let picks = sample_recipients(&[1.0, 0.0, 1.0], &mut rng);
         assert_eq!(picks, vec![0, 2]);
+    }
+
+    #[test]
+    fn sampling_consumes_one_draw_per_peer() {
+        use rand::Rng;
+        // Saturated (clamped) and zero probabilities still consume their
+        // Bernoulli draw, so the stream position after sampling depends
+        // only on the peer count — never on the probability values.
+        let mut sampled = StdRng::seed_from_u64(7);
+        let mut reference = StdRng::seed_from_u64(7);
+        let picks = sample_recipients(&[1.0, 0.0, 0.3, 2.5], &mut sampled);
+        assert!(
+            picks.contains(&0) && picks.contains(&3),
+            "certainties always picked"
+        );
+        assert!(!picks.contains(&1), "zero probability never picked");
+        for _ in 0..4 {
+            reference.gen_bool(0.5);
+        }
+        assert_eq!(
+            sampled.gen::<u64>(),
+            reference.gen::<u64>(),
+            "exactly one draw per peer entry"
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod error;
 pub mod flow;
 pub mod msg;
 pub mod node;
+pub mod obs;
 pub mod report;
 pub mod runner;
 pub mod strategy;

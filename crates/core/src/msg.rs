@@ -87,7 +87,11 @@ impl Msg {
     pub fn wire_bytes(&self) -> usize {
         match self {
             Msg::Tuple { piggyback, .. } => {
-                Tuple::WIRE_BYTES + piggyback.iter().map(SummaryPayload::wire_bytes).sum::<usize>()
+                Tuple::WIRE_BYTES
+                    + piggyback
+                        .iter()
+                        .map(SummaryPayload::wire_bytes)
+                        .sum::<usize>()
             }
             Msg::Summary(ps) => ps.iter().map(SummaryPayload::wire_bytes).sum(),
         }

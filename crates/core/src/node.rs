@@ -64,7 +64,10 @@ impl ThroughputGovernor {
             self.history.pop_front();
             self.bytes_in_window -= b;
         }
-        let rate_bps = self.bytes_in_window.saturating_mul(8).saturating_mul(1_000_000)
+        let rate_bps = self
+            .bytes_in_window
+            .saturating_mul(8)
+            .saturating_mul(1_000_000)
             / self.window_us.max(1);
         if rate_bps > self.budget_bps {
             self.scale = (self.scale * Self::DECREASE).max(Self::MIN_SCALE);
@@ -109,6 +112,26 @@ impl NodeMetrics {
     /// Total matches this node reported (local + remote probes).
     pub fn matches(&self) -> u64 {
         self.local_matches + self.remote_matches
+    }
+
+    /// Exports every counter into `registry` under
+    /// `node.<id>.<counter>` keys (the per-node section of the
+    /// `--metrics-out` record).
+    pub fn record_into(&self, registry: &mut crate::obs::Registry, me: u16) {
+        for (name, value) in [
+            ("arrivals", self.arrivals),
+            ("local_matches", self.local_matches),
+            ("remote_matches", self.remote_matches),
+            ("tuple_msgs_sent", self.tuple_msgs_sent),
+            ("summary_msgs_sent", self.summary_msgs_sent),
+            ("data_bytes_sent", self.data_bytes_sent),
+            ("overhead_bytes_sent", self.overhead_bytes_sent),
+            ("fallback_routes", self.fallback_routes),
+            ("tuples_received", self.tuples_received),
+            ("summaries_received", self.summaries_received),
+        ] {
+            registry.counter_add(&format!("node.{me:02}.{name}"), value);
+        }
     }
 
     /// Adds another node's counters into this one.
@@ -344,9 +367,7 @@ mod tests {
 
     fn cluster(algorithm: Algorithm, n: u16) -> Simulation<JoinNode> {
         let nodes = (0..n)
-            .map(|me| {
-                JoinNode::new(algorithm, test_config(me, n), WindowSpec::count(32), 0)
-            })
+            .map(|me| JoinNode::new(algorithm, test_config(me, n), WindowSpec::count(32), 0))
             .collect();
         Simulation::new(nodes, LinkConfig::instant(), 11)
     }
@@ -382,7 +403,11 @@ mod tests {
         let mut sim = cluster(Algorithm::Base, 2);
         inject_seq(
             &mut sim,
-            &[(0, StreamId::R, 5), (0, StreamId::S, 5), (0, StreamId::S, 5)],
+            &[
+                (0, StreamId::R, 5),
+                (0, StreamId::S, 5),
+                (0, StreamId::S, 5),
+            ],
         );
         sim.run_to_quiescence();
         let m0 = *sim.node(0).metrics();
@@ -407,7 +432,11 @@ mod tests {
         let mut sim = Simulation::new(nodes, LinkConfig::instant(), 3);
         inject_seq(
             &mut sim,
-            &[(0, StreamId::R, 5), (0, StreamId::S, 5), (0, StreamId::S, 5)],
+            &[
+                (0, StreamId::R, 5),
+                (0, StreamId::S, 5),
+                (0, StreamId::S, 5),
+            ],
         );
         sim.run_to_quiescence();
         let total: u64 = sim.iter_nodes().map(|n| n.metrics().matches()).sum();
@@ -440,7 +469,7 @@ mod tests {
     #[test]
     fn governor_aimd_dynamics() {
         let mut g = ThroughputGovernor::new(8_000); // 1000 bytes/s
-        // Below budget: scale stays at 1.
+                                                    // Below budget: scale stays at 1.
         g.note_sent(0, 100);
         assert_eq!(g.scale(1_000), 1.0);
         // Blast 10x the budget into the window: multiplicative decrease.

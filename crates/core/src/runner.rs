@@ -5,12 +5,13 @@
 use crate::error::RunError;
 use crate::flow::{FlowParams, TargetComplexity};
 use crate::node::{JoinNode, NodeMetrics};
+use crate::obs;
 use crate::strategy::{Algorithm, RouterConfig};
 use dsj_simnet::{LinkConfig, SimDuration, SimTime, Simulation};
 use dsj_stream::gen::{Arrival, ArrivalGen, WorkloadKind};
-use dsj_stream::trace::Trace;
 use dsj_stream::join::GroundTruth;
 use dsj_stream::partition::Partitioner;
+use dsj_stream::trace::Trace;
 use dsj_stream::WindowSpec;
 use serde::{Deserialize, Serialize};
 
@@ -254,34 +255,43 @@ impl ClusterConfig {
     /// [`RunError`]'s variants).
     pub fn run(&self) -> Result<ExperimentReport, RunError> {
         self.validate()?;
+        let mut reg = obs::Registry::new();
 
         // Build the cluster.
-        let nodes: Vec<JoinNode> = (0..self.n).map(|me| self.build_node(me)).collect();
-        let mut sim = Simulation::new(nodes, self.link, self.seed ^ 0x51A1);
+        let mut sim = reg.time_phase("build", || {
+            let nodes: Vec<JoinNode> = (0..self.n).map(|me| self.build_node(me)).collect();
+            Simulation::new(nodes, self.link, self.seed ^ 0x51A1)
+        });
 
         // Generate the workload and account ground truth.
-        let arrivals = self.arrivals();
         let warmup_seq = (self.tuples as f64 * self.warmup) as u64;
         // Ground truth evicts with the same clock the nodes use: tuple
         // count for count windows, virtual arrival time for time windows.
         let dt_us = self.interarrival_us();
-        let mut truth = GroundTruth::new(self.n as usize, self.window_spec());
-        let mut truth_matches = 0u64;
-        for a in &arrivals {
-            let m = truth.observe(a.tuple(), a.seq * dt_us);
-            if a.seq >= warmup_seq {
-                truth_matches += m.total();
+        let (arrivals, truth_matches) = reg.time_phase("workload", || {
+            let arrivals = self.arrivals();
+            let mut truth = GroundTruth::new(self.n as usize, self.window_spec());
+            let mut truth_matches = 0u64;
+            for a in &arrivals {
+                let m = truth.observe(a.tuple(), a.seq * dt_us);
+                if a.seq >= warmup_seq {
+                    truth_matches += m.total();
+                }
             }
-        }
+            (arrivals, truth_matches)
+        });
 
         // Inject at the configured aggregate rate and run to completion.
-        let mut last_inject = SimTime::ZERO;
-        for a in &arrivals {
-            let t = SimTime::ZERO + SimDuration::from_micros(a.seq * dt_us);
-            last_inject = t;
-            sim.inject_at(t, a.node, a.tuple());
-        }
-        let horizon = match self.cutoff_grace_ms {
+        let last_inject = reg.time_phase("inject", || {
+            let mut last_inject = SimTime::ZERO;
+            for a in &arrivals {
+                let t = SimTime::ZERO + SimDuration::from_micros(a.seq * dt_us);
+                last_inject = t;
+                sim.inject_at(t, a.node, a.tuple());
+            }
+            last_inject
+        });
+        let horizon = reg.time_phase("simulate", || match self.cutoff_grace_ms {
             Some(ms) => {
                 let horizon = last_inject + SimDuration::from_millis(ms);
                 sim.run_until(horizon);
@@ -291,9 +301,10 @@ impl ClusterConfig {
                 sim.run_to_quiescence();
                 sim.now()
             }
-        };
+        });
 
         // Aggregate.
+        let aggregate_started = std::time::Instant::now();
         let mut total = NodeMetrics::default();
         let mut fallback_events = 0u64;
         let mut per_node_arrivals = Vec::with_capacity(self.n as usize);
@@ -317,7 +328,7 @@ impl ClusterConfig {
         };
         let duration = horizon.as_secs_f64().max(1e-9);
         let messages = sim.metrics().messages_sent;
-        Ok(ExperimentReport {
+        let report = ExperimentReport {
             algorithm: self.algorithm,
             workload: self.workload.label().to_string(),
             n: self.n,
@@ -349,7 +360,47 @@ impl ClusterConfig {
             per_node_sent,
             load_imbalance,
             dropped_messages: sim.metrics().messages_dropped,
-        })
+        };
+        reg.phase_add("aggregate", aggregate_started.elapsed());
+        // Structured observability: skipped entirely unless a harness
+        // installed a collector and set an experiment scope (repro's
+        // `--metrics-out`), so plain `run()` callers pay nothing.
+        if obs::enabled() {
+            self.export_observations(&mut reg, &report, sim.metrics());
+            for (me, node) in sim.iter_nodes().enumerate() {
+                node.metrics().record_into(&mut reg, me as u16);
+            }
+            obs::emit(reg);
+        }
+        Ok(report)
+    }
+
+    /// Fills `reg` with the run-level counters, gauges and network
+    /// histograms of a finished run.
+    fn export_observations(
+        &self,
+        reg: &mut obs::Registry,
+        report: &ExperimentReport,
+        net: &dsj_simnet::NetMetrics,
+    ) {
+        reg.counter_add("runs", 1);
+        reg.counter_add("net.messages_sent", net.messages_sent);
+        reg.counter_add("net.messages_delivered", net.messages_delivered);
+        reg.counter_add("net.messages_dropped", net.messages_dropped);
+        reg.counter_add("net.bytes_sent", net.bytes_sent);
+        reg.histogram_merge("net.msg_bytes", &net.msg_bytes);
+        reg.histogram_merge("net.delivery_latency_us", &net.delivery_latency_us);
+        reg.counter_add("truth_matches", report.truth_matches);
+        reg.counter_add("reported_matches", report.reported_matches);
+        reg.counter_add("tuples", report.tuples as u64);
+        reg.counter_add("fallback_events", report.fallback_events);
+        reg.gauge_set("epsilon", report.epsilon);
+        reg.gauge_set("messages_per_result", report.messages_per_result);
+        reg.gauge_set("msgs_per_tuple", report.msgs_per_tuple);
+        reg.gauge_set("overhead_ratio", report.overhead_ratio);
+        reg.gauge_set("throughput", report.throughput);
+        reg.gauge_set("load_imbalance", report.load_imbalance);
+        reg.gauge_set("virtual_duration_secs", report.duration_secs);
     }
 
     /// Calibrates the message-complexity target so the measured error is at
@@ -646,7 +697,12 @@ mod tests {
     #[test]
     fn approximate_algorithms_send_fewer_messages_than_base() {
         let base = quick(Algorithm::Base).run().unwrap();
-        for alg in [Algorithm::Dft, Algorithm::Dftt, Algorithm::Bloom, Algorithm::Sketch] {
+        for alg in [
+            Algorithm::Dft,
+            Algorithm::Dftt,
+            Algorithm::Bloom,
+            Algorithm::Sketch,
+        ] {
             let r = quick(alg).run().unwrap();
             assert!(
                 r.messages < base.messages,
@@ -703,9 +759,7 @@ mod tests {
     #[test]
     fn best_effort_picks_feasible_operating_point() {
         let grid = [0.5, 1.0, 3.0];
-        let (report, target) = quick(Algorithm::Dftt)
-            .run_best_effort(0.5, &grid)
-            .unwrap();
+        let (report, target) = quick(Algorithm::Dftt).run_best_effort(0.5, &grid).unwrap();
         assert!(grid.contains(&target));
         // Either feasible, or the least-bad point was chosen.
         assert!((0.0..=1.0).contains(&report.epsilon));
@@ -764,10 +818,100 @@ mod tests {
     }
 
     #[test]
+    fn uniform_workload_trips_fallback_within_budget() {
+        use dsj_stream::gen::WorkloadKind;
+        // Uniform keys drive every pairwise ρ to the same value — the
+        // Theorem 1/2 worst case. End to end, the CV detector must fire
+        // and hand routing to the round-robin fallback, while the flow
+        // controller keeps the per-tuple message count at the configured
+        // target rather than degenerating to broadcast. Eight nodes so
+        // each site sees enough pairwise ρ samples for a stable CV.
+        // Locality 0 so every node sees the same (uniform) key mix — with
+        // geographic locality each site's window covers its own key range
+        // and the pairwise ρs genuinely differ.
+        let cfg = ClusterConfig::new(8, Algorithm::Dft)
+            .window(256)
+            .domain(1 << 10)
+            .tuples(8_000)
+            .arrival_rate(500.0)
+            .locality(0.0)
+            .kappa(16)
+            .seed(3)
+            .workload(WorkloadKind::Uniform);
+        let report = cfg.clone().run().unwrap();
+        assert!(
+            report.fallback_events > 0,
+            "uniform data must trip detect_uniform: {report:?}"
+        );
+        assert!(
+            report.fallback_fraction > 0.3,
+            "fallback should carry a large share of arrivals: {}",
+            report.fallback_fraction
+        );
+        let target = cfg.target.target(cfg.n);
+        assert!(
+            report.msgs_per_tuple <= target * 1.25 + 0.1,
+            "fallback must respect the {} msgs/tuple budget: {}",
+            target,
+            report.msgs_per_tuple
+        );
+        // Skewed data on the same configuration barely falls back — the
+        // detector separates the regimes rather than firing always.
+        let zipf = cfg
+            .clone()
+            .workload(WorkloadKind::Zipf { alpha: 0.8 })
+            .run()
+            .unwrap();
+        assert!(
+            zipf.fallback_fraction < report.fallback_fraction,
+            "skewed {} vs uniform {}",
+            zipf.fallback_fraction,
+            report.fallback_fraction
+        );
+    }
+
+    #[test]
     fn interarrival_matches_rate() {
         let cfg = quick(Algorithm::Base).arrival_rate(500.0); // 4 nodes
-        // 2000 tuples/s aggregate → 500 µs between arrivals.
+                                                              // 2000 tuples/s aggregate → 500 µs between arrivals.
         assert_eq!(cfg.interarrival_us(), 500);
+    }
+
+    #[test]
+    fn run_emits_observation_record_when_scoped() {
+        let collector = crate::obs::Collector::install();
+        let cfg = quick(Algorithm::Dftt);
+        let report = crate::obs::scoped("unit", 0, || cfg.run().unwrap());
+        let records = collector.drain();
+        assert_eq!(records.len(), 1);
+        let rec = &records[0];
+        assert_eq!((rec.index, rec.label.as_str(), rec.runs), (0, "unit", 1));
+        let reg = &rec.registry;
+        assert_eq!(reg.counter("net.messages_sent"), report.messages);
+        assert_eq!(reg.counter("truth_matches"), report.truth_matches);
+        assert_eq!(reg.gauge("epsilon"), Some(report.epsilon));
+        for phase in ["build", "workload", "inject", "simulate", "aggregate"] {
+            let p = reg
+                .phase(phase)
+                .unwrap_or_else(|| panic!("missing phase {phase}"));
+            assert_eq!(p.calls, 1);
+        }
+        // Per-node counters cover every node and sum to the workload.
+        let total_arrivals: u64 = (0..cfg.n)
+            .map(|me| reg.counter(&format!("node.{me:02}.arrivals")))
+            .sum();
+        assert_eq!(total_arrivals, cfg.tuples as u64);
+        assert_eq!(
+            reg.histogram("net.msg_bytes").unwrap().count(),
+            report.messages
+        );
+        assert_eq!(
+            reg.histogram("net.delivery_latency_us").unwrap().count(),
+            report.messages - report.dropped_messages
+        );
+        // And nothing leaks once the scope is gone.
+        cfg.run().unwrap();
+        assert!(collector.drain().is_empty());
     }
 
     #[test]

@@ -78,15 +78,9 @@ impl BloomRouter {
     }
 
     /// Routes one arriving tuple.
-    pub fn route(
-        &mut self,
-        stream: StreamId,
-        key: u32,
-        scale: f64,
-        rng: &mut StdRng,
-    ) -> Route {
-        let target = (self.cfg.flow.target.target(self.cfg.n) * scale)
-            .clamp(0.0, (self.cfg.n - 1) as f64);
+    pub fn route(&mut self, stream: StreamId, key: u32, scale: f64, rng: &mut StdRng) -> Route {
+        let target =
+            (self.cfg.flow.target.target(self.cfg.n) * scale).clamp(0.0, (self.cfg.n - 1) as f64);
         let s = stream.index();
         let opp = stream.opposite().index();
         let peers: Vec<u16> = peers_of(self.cfg.me, self.cfg.n).collect();
@@ -122,8 +116,7 @@ impl BloomRouter {
         if !candidates.is_empty() {
             candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("estimates are finite"));
             let take = (target.ceil() as usize).max(1);
-            let mut picked: Vec<u16> =
-                candidates.into_iter().take(take).map(|(j, _)| j).collect();
+            let mut picked: Vec<u16> = candidates.into_iter().take(take).map(|(j, _)| j).collect();
             // Spend any remaining budget on hit-rate-weighted coverage of
             // sites the filters may have under-reported.
             let leftover = target - picked.len() as f64;
@@ -148,8 +141,7 @@ impl BloomRouter {
         // T = N−1 the caller asked for broadcast coverage, so "no candidate"
         // must not drop tuples; at T = 1 suppression is the whole win.
         let frac = ((target - 1.0) / ((self.cfg.n as f64) - 2.0).max(1.0)).clamp(0.0, 1.0);
-        let explore_eff =
-            (self.cfg.flow.explore + frac * (1.0 - self.cfg.flow.explore)).min(1.0);
+        let explore_eff = (self.cfg.flow.explore + frac * (1.0 - self.cfg.flow.explore)).min(1.0);
         if any_filter && !rng.gen_bool(explore_eff) {
             return Route::default();
         }

@@ -159,15 +159,9 @@ impl DftRouter {
     }
 
     /// Routes one arriving tuple.
-    pub fn route(
-        &mut self,
-        stream: StreamId,
-        key: u32,
-        scale: f64,
-        rng: &mut StdRng,
-    ) -> Route {
-        let target = (self.cfg.flow.target.target(self.cfg.n) * scale)
-            .clamp(0.0, (self.cfg.n - 1) as f64);
+    pub fn route(&mut self, stream: StreamId, key: u32, scale: f64, rng: &mut StdRng) -> Route {
+        let target =
+            (self.cfg.flow.target.target(self.cfg.n) * scale).clamp(0.0, (self.cfg.n - 1) as f64);
         self.refresh_rho(stream);
         let peers: Vec<u16> = peers_of(self.cfg.me, self.cfg.n).collect();
         let rhos: Vec<Option<f64>> = peers
@@ -191,12 +185,9 @@ impl DftRouter {
                     (est >= 0.5).then_some((j, est))
                 })
                 .collect();
-            let any_recon = peers
-                .iter()
-                .any(|&j| self.recon[j as usize][opp].is_some());
+            let any_recon = peers.iter().any(|&j| self.recon[j as usize][opp].is_some());
             if !candidates.is_empty() {
-                candidates
-                    .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("estimates are finite"));
+                candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("estimates are finite"));
                 let take = (target.ceil() as usize).max(1);
                 let mut picked: Vec<u16> =
                     candidates.into_iter().take(take).map(|(j, _)| j).collect();
@@ -211,9 +202,7 @@ impl DftRouter {
                         .map(|(&j, r)| if picked.contains(&j) { Some(0.0) } else { *r })
                         .collect();
                     if let Some(probs) = forwarding_probabilities(&residual, leftover) {
-                        picked.extend(
-                            sample_recipients(&probs, rng).into_iter().map(|i| peers[i]),
-                        );
+                        picked.extend(sample_recipients(&probs, rng).into_iter().map(|i| peers[i]));
                         picked.sort_unstable();
                         picked.dedup();
                     }
@@ -284,8 +273,7 @@ impl DftRouter {
         self.rho_stale[j][stream.opposite().index()] = true;
         if self.tuple_testing {
             self.recon[j][s] = Some(
-                CompressedDft::from_prefix(coeffs.clone(), self.cfg.domain as usize)
-                    .reconstruct(),
+                CompressedDft::from_prefix(coeffs.clone(), self.cfg.domain as usize).reconstruct(),
             );
         }
     }
@@ -335,7 +323,11 @@ impl DftRouter {
     /// the coefficient overhead at a few percent of the net data, the
     /// regime Figure 8 reports.
     pub fn piggyback(&mut self, peer: u16) -> Vec<SummaryPayload> {
-        if self.arrivals.saturating_sub(self.last_piggyback[peer as usize]) < PIGGYBACK_GAP {
+        if self
+            .arrivals
+            .saturating_sub(self.last_piggyback[peer as usize])
+            < PIGGYBACK_GAP
+        {
             return Vec::new();
         }
         let mut best: Option<(StreamId, usize, f64)> = None;
@@ -348,7 +340,7 @@ impl DftRouter {
             for (i, c) in cur.iter().enumerate() {
                 let delta = (*c - snap[i]).abs();
                 let tau = PIGGYBACK_TAU_ABS + PIGGYBACK_TAU_REL * snap[i].abs();
-                if delta > tau && best.map_or(true, |(_, _, d)| delta > d) {
+                if delta > tau && best.is_none_or(|(_, _, d)| delta > d) {
                     best = Some((stream, i, delta));
                 }
             }
@@ -404,9 +396,13 @@ mod tests {
         let mut n0 = DftRouter::new(test_config(0, 3), true);
         let mut n1 = DftRouter::new(test_config(1, 3), true);
         let mut n2 = DftRouter::new(test_config(2, 3), true);
-        fill(&mut n1, StreamId::S, &vec![10; 40]);
-        fill(&mut n2, StreamId::S, &vec![200; 40]);
-        fill(&mut n0, StreamId::R, &(0..40).map(|i| i % 20).collect::<Vec<_>>());
+        fill(&mut n1, StreamId::S, &[10; 40]);
+        fill(&mut n2, StreamId::S, &[200; 40]);
+        fill(
+            &mut n0,
+            StreamId::R,
+            &(0..40).map(|i| i % 20).collect::<Vec<_>>(),
+        );
         exchange(&mut n1, 1, &mut n0);
         exchange(&mut n2, 2, &mut n0);
 
@@ -422,9 +418,9 @@ mod tests {
         let mut n0 = DftRouter::new(test_config(0, 3), true);
         let mut n1 = DftRouter::new(test_config(1, 3), true);
         let mut n2 = DftRouter::new(test_config(2, 3), true);
-        fill(&mut n1, StreamId::S, &vec![10; 40]);
-        fill(&mut n2, StreamId::S, &vec![200; 40]);
-        fill(&mut n0, StreamId::R, &vec![10; 40]);
+        fill(&mut n1, StreamId::S, &[10; 40]);
+        fill(&mut n2, StreamId::S, &[200; 40]);
+        fill(&mut n0, StreamId::R, &[10; 40]);
         exchange(&mut n1, 1, &mut n0);
         exchange(&mut n2, 2, &mut n0);
         let mut rng = rng();
@@ -548,8 +544,8 @@ mod tests {
         exchange(&mut n1, 1, &mut n0);
         let recon = n0.recon[1][StreamId::S.index()].as_ref().unwrap();
         // Keys present ~12.8 times each reconstruct to large estimates.
-        for k in 40..45 {
-            assert!(recon[k] > 0.5, "bucket {k} = {}", recon[k]);
+        for (k, &r) in recon.iter().enumerate().take(45).skip(40) {
+            assert!(r > 0.5, "bucket {k} = {r}");
         }
     }
 }

@@ -156,8 +156,7 @@ impl SyncState {
         if !self.synced_once[p] {
             return self.arrivals_since[p] >= self.bootstrap_after;
         }
-        self.sent_since[p] >= self.sent_interval
-            || self.arrivals_since[p] >= self.arrival_interval
+        self.sent_since[p] >= self.sent_interval || self.arrivals_since[p] >= self.arrival_interval
     }
 
     /// `true` when `peer` is overdue enough to justify a standalone

@@ -105,16 +105,10 @@ impl SketchRouter {
     }
 
     /// Routes one arriving tuple.
-    pub fn route(
-        &mut self,
-        stream: StreamId,
-        key: u32,
-        scale: f64,
-        rng: &mut StdRng,
-    ) -> Route {
+    pub fn route(&mut self, stream: StreamId, key: u32, scale: f64, rng: &mut StdRng) -> Route {
         let _ = key; // sketches carry no per-key signal
-        let target = (self.cfg.flow.target.target(self.cfg.n) * scale)
-            .clamp(0.0, (self.cfg.n - 1) as f64);
+        let target =
+            (self.cfg.flow.target.target(self.cfg.n) * scale).clamp(0.0, (self.cfg.n - 1) as f64);
         self.refresh_estimates(stream);
         let s = stream.index();
         let peers: Vec<u16> = peers_of(self.cfg.me, self.cfg.n).collect();
@@ -209,7 +203,11 @@ mod tests {
         let mine: Vec<u32> = (0..64).map(|i| i % 8).collect();
         fill(&mut n0, StreamId::R, &mine);
         fill(&mut n1, StreamId::S, &mine); // large join with n0's R
-        fill(&mut n2, StreamId::S, &(0..64).map(|i| 100 + i % 8).collect::<Vec<_>>());
+        fill(
+            &mut n2,
+            StreamId::S,
+            &(0..64).map(|i| 100 + i % 8).collect::<Vec<_>>(),
+        );
         exchange(&mut n1, 1, &mut n0);
         exchange(&mut n2, 2, &mut n0);
         let mut rng = rng();
@@ -248,8 +246,9 @@ mod tests {
     #[test]
     fn identical_windows_fall_back() {
         let mut n0 = SketchRouter::new(test_config(0, 4));
-        let mut others: Vec<SketchRouter> =
-            (1..4).map(|i| SketchRouter::new(test_config(i, 4))).collect();
+        let mut others: Vec<SketchRouter> = (1..4)
+            .map(|i| SketchRouter::new(test_config(i, 4)))
+            .collect();
         let flat: Vec<u32> = (0..128).collect();
         fill(&mut n0, StreamId::R, &flat);
         for (i, o) in others.iter_mut().enumerate() {

@@ -170,7 +170,10 @@ mod tests {
     fn zipf_bounds_in_unit_interval() {
         for n in 2..=20 {
             for &alpha in &[0.1, 0.4, 0.9] {
-                for b in [zipf_error_bound_t1(n, alpha), zipf_error_bound_tlog(n, alpha)] {
+                for b in [
+                    zipf_error_bound_t1(n, alpha),
+                    zipf_error_bound_tlog(n, alpha),
+                ] {
                     assert!((0.0..=1.0).contains(&b), "n={n} alpha={alpha}: {b}");
                 }
             }

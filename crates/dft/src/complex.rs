@@ -256,7 +256,10 @@ mod tests {
 
     #[test]
     fn i_squared_is_minus_one() {
-        assert!(close(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0)));
+        assert!(close(
+            Complex64::I * Complex64::I,
+            Complex64::new(-1.0, 0.0)
+        ));
     }
 
     #[test]

@@ -322,7 +322,7 @@ pub struct ReconstructionStats {
 /// Number of coefficients retained for window `w` at compression factor `κ`.
 #[inline]
 pub fn retained_for(w: usize, kappa: u32) -> usize {
-    ((w + kappa as usize - 1) / kappa as usize).max(1)
+    w.div_ceil(kappa as usize).max(1)
 }
 
 /// Expected MSE of a prefix compression computed *from the full spectrum*
@@ -476,7 +476,9 @@ mod tests {
         // White-noise-like signal: little energy compaction.
         let s: Vec<f64> = (0..512u64)
             .map(|i| {
-                let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xDEAD_BEEF);
+                let mut x = i
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0xDEAD_BEEF);
                 x ^= x >> 33;
                 x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
                 x ^= x >> 29;
@@ -502,8 +504,7 @@ mod tests {
     fn from_prefix_round_trips() {
         let s = smooth_signal(128);
         let via_signal = CompressedDft::from_signal(&s, 4).unwrap();
-        let via_prefix =
-            CompressedDft::from_prefix(via_signal.coefficients().to_vec(), s.len());
+        let via_prefix = CompressedDft::from_prefix(via_signal.coefficients().to_vec(), s.len());
         assert_eq!(via_signal, via_prefix);
         assert!((via_prefix.kappa() - 4.0).abs() < 1e-9);
     }

@@ -76,8 +76,11 @@ mod tests {
     fn real_wrapper_matches_complex() {
         let x: Vec<f64> = (0..16).map(|n| n as f64 * 0.5).collect();
         let via_real = dft_direct_real(&x);
-        let via_complex =
-            dft_direct(&x.iter().map(|&v| Complex64::from_real(v)).collect::<Vec<_>>());
+        let via_complex = dft_direct(
+            &x.iter()
+                .map(|&v| Complex64::from_real(v))
+                .collect::<Vec<_>>(),
+        );
         assert_eq!(via_real, via_complex);
     }
 

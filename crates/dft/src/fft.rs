@@ -143,7 +143,7 @@ impl Fft {
                 }
                 inner.forward_in_place(&mut a);
                 for (ai, ki) in a.iter_mut().zip(kernel_spec.iter()) {
-                    *ai = *ai * *ki;
+                    *ai *= *ki;
                 }
                 inner.inverse_in_place(&mut a);
                 for i in 0..n {
@@ -210,8 +210,8 @@ impl Fft {
 /// Iterative radix-2 decimation-in-time butterfly.
 fn radix2(buf: &mut [Complex64], twiddles: &[Complex64], rev: &[u32]) {
     let n = buf.len();
-    for i in 0..n {
-        let j = rev[i] as usize;
+    for (i, &r) in rev.iter().enumerate() {
+        let j = r as usize;
         if i < j {
             buf.swap(i, j);
         }
@@ -231,7 +231,6 @@ fn radix2(buf: &mut [Complex64], twiddles: &[Complex64], rev: &[u32]) {
         span *= 2;
     }
 }
-
 
 /// A specialized transform for *real* input of even length `N`: packs the
 /// signal into an `N/2`-point complex FFT and untangles the spectrum,
@@ -262,7 +261,10 @@ impl RealFft {
     ///
     /// Panics if `len` is odd or zero.
     pub fn new(len: usize) -> Self {
-        assert!(len > 0 && len % 2 == 0, "real FFT needs a positive even length");
+        assert!(
+            len > 0 && len.is_multiple_of(2),
+            "real FFT needs a positive even length"
+        );
         let twiddles = (0..len / 2)
             .map(|k| Complex64::cis(-2.0 * PI * k as f64 / len as f64))
             .collect();

@@ -28,10 +28,7 @@ pub fn power_spectrum(x: &[f64], y: &[f64]) -> Vec<Complex64> {
     let fft = Fft::new(x.len());
     let sx = fft.forward_real(x);
     let sy = fft.forward_real(y);
-    sx.iter()
-        .zip(&sy)
-        .map(|(a, b)| *a * b.conj())
-        .collect()
+    sx.iter().zip(&sy).map(|(a, b)| *a * b.conj()).collect()
 }
 
 /// Inner product `Σ_n x[n]·y[n]` recovered from two coefficient prefixes of
@@ -157,10 +154,7 @@ impl SpectralSummary {
     pub fn new(coeffs: Vec<Complex64>, signal_len: usize) -> Self {
         assert!(!coeffs.is_empty(), "summary must retain coefficients");
         assert!(signal_len > 0, "signal length must be positive");
-        SpectralSummary {
-            coeffs,
-            signal_len,
-        }
+        SpectralSummary { coeffs, signal_len }
     }
 
     /// Computes the full-spectrum summary of a real signal, retaining
@@ -240,7 +234,11 @@ mod tests {
         let n = x.len() as f64;
         let mx = x.iter().sum::<f64>() / n;
         let my = y.iter().sum::<f64>() / n;
-        x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum::<f64>() / n
+        x.iter()
+            .zip(y)
+            .map(|(a, b)| (a - mx) * (b - my))
+            .sum::<f64>()
+            / n
     }
 
     #[test]
@@ -322,8 +320,8 @@ mod tests {
             .map(|n| 50.0 + 5.0 * (2.0 * std::f64::consts::PI * n as f64 / 256.0).sin())
             .collect();
         let full = full_summary(&x).correlation(&full_summary(&y));
-        let pref = SpectralSummary::from_signal(&x, 8)
-            .correlation(&SpectralSummary::from_signal(&y, 8));
+        let pref =
+            SpectralSummary::from_signal(&x, 8).correlation(&SpectralSummary::from_signal(&y, 8));
         assert!((full - pref).abs() < 1e-6, "{full} vs {pref}");
         assert!((full - 1.0).abs() < 1e-6);
     }

@@ -1,6 +1,7 @@
 //! One OS thread per node, crossbeam channels as links.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use dsj_core::obs;
 use dsj_core::{ClusterConfig, Msg, NodeMetrics};
 use dsj_stream::Tuple;
 use parking_lot::Mutex;
@@ -74,10 +75,12 @@ impl LiveCluster {
     ///
     /// [`LiveError::NodePanicked`] if any node thread dies.
     pub fn run(cfg: &ClusterConfig) -> Result<LiveOutcome, LiveError> {
+        let mut reg = obs::Registry::default();
         let n = cfg.n;
-        let arrivals = cfg.arrivals();
-        let truth_matches = cfg.ground_truth_matches();
+        let (arrivals, truth_matches) =
+            reg.time_phase("workload", || (cfg.arrivals(), cfg.ground_truth_matches()));
 
+        let spawn_started = Instant::now();
         // One channel per node; every thread gets every sender.
         let mut senders: Vec<Sender<Event>> = Vec::with_capacity(n as usize);
         let mut receivers: Vec<Receiver<Event>> = Vec::with_capacity(n as usize);
@@ -130,6 +133,8 @@ impl LiveCluster {
             }));
         }
 
+        reg.phase_add("spawn", spawn_started.elapsed());
+
         // Feed arrivals in global order (per-channel FIFO keeps each
         // node's sequence numbers ascending, as the windows require).
         // Backpressure: cap the events in flight so slow consumers don't
@@ -150,16 +155,20 @@ impl LiveCluster {
                 return Err(LiveError::ChannelClosed);
             }
         }
+        reg.phase_add("inject", start.elapsed());
 
         // Quiesce: wait until no events remain in any channel.
+        let drain_started = Instant::now();
         while in_flight.load(Ordering::SeqCst) > 0 {
             thread::yield_now();
         }
         let wall_time = start.elapsed();
+        reg.phase_add("drain", drain_started.elapsed());
         for tx in &senders {
             let _ = tx.send(Event::Shutdown);
         }
 
+        let join_started = Instant::now();
         let mut totals = NodeMetrics::default();
         let mut nodes = Vec::with_capacity(n as usize);
         for (id, h) in handles.into_iter().enumerate() {
@@ -174,6 +183,7 @@ impl LiveCluster {
         for node in &nodes {
             totals.absorb(node.metrics());
         }
+        reg.phase_add("join", join_started.elapsed());
         let reported_matches = totals.matches();
         let epsilon = if truth_matches == 0 {
             0.0
@@ -181,7 +191,7 @@ impl LiveCluster {
             ((truth_matches as f64 - reported_matches as f64) / truth_matches as f64).max(0.0)
         };
         let secs = wall_time.as_secs_f64().max(1e-9);
-        Ok(LiveOutcome {
+        let outcome = LiveOutcome {
             truth_matches,
             reported_matches,
             epsilon,
@@ -189,7 +199,22 @@ impl LiveCluster {
             totals,
             wall_time,
             tuples_per_sec: arrivals.len() as f64 / secs,
-        })
+        };
+        if obs::enabled() {
+            reg.counter_add("runs", 1);
+            reg.counter_add("truth_matches", outcome.truth_matches);
+            reg.counter_add("reported_matches", outcome.reported_matches);
+            reg.counter_add("live.messages", outcome.messages);
+            reg.counter_add("tuples", arrivals.len() as u64);
+            reg.gauge_set("epsilon", outcome.epsilon);
+            reg.gauge_set("wall_time_secs", outcome.wall_time.as_secs_f64());
+            reg.gauge_set("tuples_per_sec", outcome.tuples_per_sec);
+            for (me, node) in nodes.iter().enumerate() {
+                node.metrics().record_into(&mut reg, me as u16);
+            }
+            obs::emit(reg);
+        }
+        Ok(outcome)
     }
 }
 
@@ -221,7 +246,11 @@ mod tests {
             outcome.reported_matches,
             outcome.truth_matches
         );
-        assert!(outcome.tuples_per_sec > 1_000.0, "{}", outcome.tuples_per_sec);
+        assert!(
+            outcome.tuples_per_sec > 1_000.0,
+            "{}",
+            outcome.tuples_per_sec
+        );
     }
 
     #[test]
@@ -244,6 +273,27 @@ mod tests {
                 outcome.epsilon
             );
         }
+    }
+
+    #[test]
+    fn live_run_emits_observation_record_when_scoped() {
+        let collector = obs::Collector::install();
+        let cfg = quick(3, Algorithm::Dft);
+        let outcome = obs::scoped("live", 4, || LiveCluster::run(&cfg).unwrap());
+        let records = collector.drain();
+        assert_eq!(records.len(), 1);
+        let rec = &records[0];
+        assert_eq!((rec.index, rec.label.as_str()), (4, "live"));
+        let reg = &rec.registry;
+        assert_eq!(reg.counter("live.messages"), outcome.messages);
+        assert_eq!(reg.counter("truth_matches"), outcome.truth_matches);
+        for phase in ["workload", "spawn", "inject", "drain", "join"] {
+            assert!(reg.phase(phase).is_some(), "missing phase {phase}");
+        }
+        let total_arrivals: u64 = (0..cfg.n)
+            .map(|me| reg.counter(&format!("node.{me:02}.arrivals")))
+            .sum();
+        assert_eq!(total_arrivals, cfg.tuples as u64);
     }
 
     #[test]

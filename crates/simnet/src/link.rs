@@ -56,7 +56,10 @@ impl LinkConfig {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn with_loss(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
         self.loss_ppm = (p * 1_000_000.0).round() as u32;
         self
     }

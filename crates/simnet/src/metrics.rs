@@ -1,8 +1,133 @@
-//! Network accounting: message and byte counters, globally and per link.
+//! Network accounting: message and byte counters, globally and per link,
+//! plus distribution summaries (message sizes, delivery latencies) kept as
+//! cheap log₂ histograms.
 
 use crate::sim::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Number of buckets in a [`Log2Histogram`]: one per bit position of a
+/// `u64`, plus bucket 0 for the value 0.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A fixed-size power-of-two histogram over `u64` samples.
+///
+/// Bucket `i > 0` covers `[2^(i-1), 2^i - 1]`; bucket 0 holds zeros. One
+/// increment and a handful of integer ops per sample, no allocation —
+/// cheap enough to sit on every simulated send.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    buckets: [u64; LOG2_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The bucket a value lands in.
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        assert!(i < LOG2_BUCKETS, "bucket index out of range");
+        if i == 0 {
+            0
+        } else if i == LOG2_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(inclusive upper bound, count)` pairs in
+    /// ascending bound order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper_bound(i), c))
+            .collect()
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
 
 /// Counters maintained by the simulation for every send.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -17,6 +142,11 @@ pub struct NetMetrics {
     pub bytes_sent: u64,
     /// Per-directed-link (from, to) → (messages, bytes).
     pub per_link: HashMap<(NodeId, NodeId), (u64, u64)>,
+    /// Distribution of on-wire message sizes (bytes).
+    pub msg_bytes: Log2Histogram,
+    /// Distribution of send→delivery latencies (microseconds of virtual
+    /// time), recorded at scheduling for messages that survive the link.
+    pub delivery_latency_us: Log2Histogram,
 }
 
 impl NetMetrics {
@@ -29,6 +159,7 @@ impl NetMetrics {
     pub fn record_send(&mut self, from: NodeId, to: NodeId, bytes: usize) {
         self.messages_sent += 1;
         self.bytes_sent += bytes as u64;
+        self.msg_bytes.record(bytes as u64);
         let e = self.per_link.entry((from, to)).or_insert((0, 0));
         e.0 += 1;
         e.1 += bytes as u64;
@@ -37,6 +168,12 @@ impl NetMetrics {
     /// Records a delivery.
     pub fn record_delivery(&mut self) {
         self.messages_delivered += 1;
+    }
+
+    /// Records the scheduled in-flight latency of a message that will be
+    /// delivered (queueing + transmission + propagation).
+    pub fn record_latency_us(&mut self, micros: u64) {
+        self.delivery_latency_us.record(micros);
     }
 
     /// Records an in-flight loss.
@@ -83,5 +220,41 @@ mod tests {
         assert_eq!(m.link_messages(1, 0), 0);
         assert_eq!(m.sent_by(0), 3);
         assert_eq!(m.sent_by(1), 0);
+        assert_eq!(m.msg_bytes.count(), 3);
+        assert_eq!(m.msg_bytes.sum(), 160);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Log2Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for v in [0u64, 1, 2, 3, 4, 100, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1_000_110);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1_000_000);
+        // 0 → bucket 0; 1 → (0,1]; 2,3 → (1,3]; 4 → (3,7]; 100 → (63,127].
+        let buckets = h.nonzero_buckets();
+        assert!(buckets.contains(&(0, 1)));
+        assert!(buckets.contains(&(1, 1)));
+        assert!(buckets.contains(&(3, 2)));
+        assert!(buckets.contains(&(7, 1)));
+        assert!(buckets.contains(&(127, 1)));
+        let mut other = Log2Histogram::new();
+        other.record(5);
+        other.merge(&h);
+        assert_eq!(other.count(), 8);
+        assert_eq!(other.max(), 1_000_000);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64() {
+        assert_eq!(Log2Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Log2Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Log2Histogram::bucket_upper_bound(8), 255);
+        assert_eq!(Log2Histogram::bucket_upper_bound(64), u64::MAX);
     }
 }

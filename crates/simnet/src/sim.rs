@@ -285,8 +285,7 @@ impl<N: SimNode> Simulation<N> {
         for (to, msg, bytes) in outgoing {
             let idx = self.link_index(ev.target, to);
             let link_cfg = *self.overrides.get(&(ev.target, to)).unwrap_or(&self.cfg);
-            let deliver_at =
-                self.links[idx].schedule(self.now, bytes, &link_cfg, &mut self.rng);
+            let deliver_at = self.links[idx].schedule(self.now, bytes, &link_cfg, &mut self.rng);
             self.metrics.record_send(ev.target, to, bytes);
             // Loss happens after the link was occupied: a dropped message
             // still burned its transmission slot.
@@ -294,6 +293,8 @@ impl<N: SimNode> Simulation<N> {
                 self.metrics.record_drop();
                 continue;
             }
+            self.metrics
+                .record_latency_us((deliver_at - self.now).as_micros());
             let seq = self.bump_seq();
             self.queue.push(Event {
                 time: deliver_at,

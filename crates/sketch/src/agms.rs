@@ -238,7 +238,10 @@ mod tests {
         let exact = exact_join(&f, &g);
         let est = sketch_of(&f, 9).join_size(&sketch_of(&g, 9)).unwrap();
         let rel = (est - exact).abs() / exact;
-        assert!(rel < 0.35, "relative error {rel} (est {est} vs exact {exact})");
+        assert!(
+            rel < 0.35,
+            "relative error {rel} (est {est} vs exact {exact})"
+        );
     }
 
     #[test]

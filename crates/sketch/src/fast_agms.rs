@@ -67,7 +67,10 @@ impl FastAgmsSketch {
     ///
     /// Panics if `buckets == 0` or `rows == 0`.
     pub fn new(buckets: usize, rows: usize, seed: u64) -> Self {
-        assert!(buckets > 0 && rows > 0, "sketch dimensions must be positive");
+        assert!(
+            buckets > 0 && rows > 0,
+            "sketch dimensions must be positive"
+        );
         let (bucket_hashes, sign_hashes) = Self::derive_hashes(rows, seed);
         FastAgmsSketch {
             buckets,

@@ -102,9 +102,7 @@ impl PolyHash {
     pub fn k_wise(k: usize, seed: u64) -> Self {
         assert!(k > 0, "independence degree must be positive");
         let mut rng = SplitMix64::new(seed ^ 0xA076_1D64_78BD_642F);
-        let coeffs = (0..k)
-            .map(|_| rng.next_u64() % MERSENNE_61)
-            .collect();
+        let coeffs = (0..k).map(|_| rng.next_u64() % MERSENNE_61).collect();
         PolyHash { coeffs }
     }
 
@@ -226,7 +224,10 @@ mod tests {
             counts[h.hash_to_range(x, m as u64) as usize] += 1.0;
         }
         let expect = n as f64 / m as f64;
-        let chi2: f64 = counts.iter().map(|c| (c - expect) * (c - expect) / expect).sum();
+        let chi2: f64 = counts
+            .iter()
+            .map(|c| (c - expect) * (c - expect) / expect)
+            .sum();
         // 31 degrees of freedom; 99.9th percentile is ~61.1.
         assert!(chi2 < 62.0, "chi² too large: {chi2}");
     }

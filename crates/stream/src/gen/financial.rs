@@ -42,9 +42,7 @@ impl FinancialSource {
         assert!(domain >= 8, "domain too small for a price walk");
         let lo = domain as f64 * 0.25;
         let hi = domain as f64 * 0.75;
-        let mids = (0..Self::SYMBOLS)
-            .map(|_| rng.gen_range(lo..hi))
-            .collect();
+        let mids = (0..Self::SYMBOLS).map(|_| rng.gen_range(lo..hi)).collect();
         let mut acc = 0.0;
         let popularity_cdf = (0..Self::SYMBOLS)
             .map(|i| {
@@ -135,8 +133,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut src = FinancialSource::new(1 << 12, &mut rng);
         src.move_prob = 0.0; // freeze prices to observe the straddle
-        let bids: Vec<u32> = (0..200).map(|_| src.next_key(StreamId::R, &mut rng)).collect();
-        let asks: Vec<u32> = (0..200).map(|_| src.next_key(StreamId::S, &mut rng)).collect();
+        let bids: Vec<u32> = (0..200)
+            .map(|_| src.next_key(StreamId::R, &mut rng))
+            .collect();
+        let asks: Vec<u32> = (0..200)
+            .map(|_| src.next_key(StreamId::S, &mut rng))
+            .collect();
         let avg = |v: &[u32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
         assert!(avg(&asks) > avg(&bids), "asks should price above bids");
     }

@@ -38,7 +38,7 @@ impl NetworkSource {
     /// Panics if `domain == 0`.
     pub fn new(domain: u32, _rng: &mut StdRng) -> Self {
         assert!(domain > 0, "domain must be non-empty");
-        let flows = domain.min(4096).max(1);
+        let flows = domain.clamp(1, 4096);
         let mut acc = 0.0;
         let flow_cdf = (0..flows as u64)
             .map(|i| {
@@ -112,7 +112,9 @@ mod tests {
         let mut src = NetworkSource::new(1 << 16, &mut rng);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..50_000 {
-            *counts.entry(src.next_key(StreamId::S, &mut rng)).or_insert(0usize) += 1;
+            *counts
+                .entry(src.next_key(StreamId::S, &mut rng))
+                .or_insert(0usize) += 1;
         }
         let mut freqs: Vec<usize> = counts.values().copied().collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));

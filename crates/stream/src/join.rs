@@ -280,7 +280,11 @@ mod tests {
         let mut central = SymmetricHashJoin::new(WindowSpec::count(50));
         let mut total = 0u64;
         for seq in 0..500u64 {
-            let stream = if seq % 2 == 0 { StreamId::R } else { StreamId::S };
+            let stream = if seq % 2 == 0 {
+                StreamId::R
+            } else {
+                StreamId::S
+            };
             let key = (seq % 17) as u32;
             let tup = t(stream, key, seq, 0);
             total += u64::from(central.push(tup, seq));

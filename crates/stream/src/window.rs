@@ -144,7 +144,10 @@ impl SlidingWindow {
             );
         }
         self.buf.push_back((tuple, now));
-        self.counts.entry(tuple.key).or_default().push_back(tuple.seq);
+        self.counts
+            .entry(tuple.key)
+            .or_default()
+            .push_back(tuple.seq);
         self.inserted += 1;
         let mut out = Vec::new();
         match self.spec() {

@@ -50,9 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * report.fallback_fraction,
         );
     }
-    println!(
-        "\n(BASE transmits {base_msgs} messages; the approximate algorithms trade a bounded"
-    );
+    println!("\n(BASE transmits {base_msgs} messages; the approximate algorithms trade a bounded");
     println!("fraction of cross-domain hits for an order of magnitude less traffic.)");
     Ok(())
 }

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("messages transmitted : {}", report.messages);
     println!("messages per result  : {:.2}", report.messages_per_result);
     println!("avg msgs per tuple   : {:.2}", report.msgs_per_tuple);
-    println!("coefficient overhead : {:.2}%", 100.0 * report.overhead_ratio);
+    println!(
+        "coefficient overhead : {:.2}%",
+        100.0 * report.overhead_ratio
+    );
     println!("throughput           : {:.0} results/s", report.throughput);
 
     // Compare with the exact broadcast baseline: same workload, N-1

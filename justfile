@@ -1,0 +1,38 @@
+# Development workflow. `just ci` mirrors .github/workflows/ci.yml.
+
+# Everything CI runs, in CI order.
+ci: fmt-check clippy tier1 test-workspace repro-smoke
+
+# Formatting gate.
+fmt-check:
+    cargo fmt --check
+
+# Lint gate — warnings are errors.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# The repo's tier-1 verify (ROADMAP.md).
+tier1:
+    cargo build --release
+    cargo test -q
+
+# Full workspace test suite.
+test-workspace:
+    cargo test -q --workspace
+
+# Parallel repro harness must match serial output byte-for-byte and emit
+# one metrics record per experiment.
+repro-smoke:
+    cargo build --release -p dsj-bench --bin repro
+    DSJOIN_SCALE=quick ./target/release/repro fig8 ablation_detector --jobs 1 \
+        --metrics-out /tmp/dsjoin_metrics_j1.jsonl > /tmp/dsjoin_out_j1.txt
+    DSJOIN_SCALE=quick ./target/release/repro fig8 ablation_detector --jobs 4 \
+        --metrics-out /tmp/dsjoin_metrics_j4.jsonl > /tmp/dsjoin_out_j4.txt
+    diff /tmp/dsjoin_out_j1.txt /tmp/dsjoin_out_j4.txt
+    test "$(wc -l < /tmp/dsjoin_metrics_j4.jsonl)" -eq 2
+
+# Regenerate the recorded full-scale reproduction outputs.
+repro-record:
+    cargo build --release -p dsj-bench --bin repro
+    ./target/release/repro all --jobs "$(nproc)" --metrics-out metrics.jsonl > repro_full.txt
+    ./target/release/repro ablations --jobs "$(nproc)" > repro_ablations.txt

@@ -39,7 +39,10 @@ fn main() -> ExitCode {
     println!("algorithm            : {}", report.algorithm);
     println!("workload             : {}", report.workload);
     println!("nodes                : {}", report.n);
-    println!("window / domain      : {} / {}", report.window, report.domain);
+    println!(
+        "window / domain      : {} / {}",
+        report.window, report.domain
+    );
     println!("tuples               : {}", report.tuples);
     println!("exact result size    : {}", report.truth_matches);
     println!("reported results     : {}", report.reported_matches);
@@ -47,9 +50,18 @@ fn main() -> ExitCode {
     println!("messages             : {}", report.messages);
     println!("messages per result  : {:.3}", report.messages_per_result);
     println!("msgs per tuple       : {:.3}", report.msgs_per_tuple);
-    println!("bytes (data+summary) : {} ({} + {})", report.bytes, report.data_bytes, report.overhead_bytes);
-    println!("overhead ratio       : {:.2}%", 100.0 * report.overhead_ratio);
-    println!("fallback fraction    : {:.2}%", 100.0 * report.fallback_fraction);
+    println!(
+        "bytes (data+summary) : {} ({} + {})",
+        report.bytes, report.data_bytes, report.overhead_bytes
+    );
+    println!(
+        "overhead ratio       : {:.2}%",
+        100.0 * report.overhead_ratio
+    );
+    println!(
+        "fallback fraction    : {:.2}%",
+        100.0 * report.fallback_fraction
+    );
     println!("load imbalance       : {:.2}", report.load_imbalance);
     println!("virtual duration     : {:.3}s", report.duration_secs);
     println!("throughput           : {:.1} results/s", report.throughput);

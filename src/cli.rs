@@ -199,8 +199,7 @@ mod tests {
 
     #[test]
     fn zipf_alpha_applies() {
-        let Command::Run { config, .. } =
-            parse(&args("--workload zipf --alpha 0.9")).unwrap()
+        let Command::Run { config, .. } = parse(&args("--workload zipf --alpha 0.9")).unwrap()
         else {
             panic!("expected a run");
         };

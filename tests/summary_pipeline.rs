@@ -141,12 +141,12 @@ fn sketches_estimate_cross_node_join_sizes() {
     // estimate against the exact inner product.
     let mut a = AgmsSketch::new(60, 5, 9);
     let mut b = AgmsSketch::new(60, 5, 9);
-    for v in 0..domain as usize {
-        if hists[0][0][v] != 0.0 {
-            a.update(v as u64, hists[0][0][v] as i64);
+    for (v, (&r0, &s1)) in hists[0][0].iter().zip(&hists[1][1]).enumerate() {
+        if r0 != 0.0 {
+            a.update(v as u64, r0 as i64);
         }
-        if hists[1][1][v] != 0.0 {
-            b.update(v as u64, hists[1][1][v] as i64);
+        if s1 != 0.0 {
+            b.update(v as u64, s1 as i64);
         }
     }
     let exact: f64 = (0..domain as usize)

@@ -1,0 +1,396 @@
+//! A compact property-testing engine with the `proptest` API surface this
+//! workspace uses: the `proptest!` macro, `prop_assert!`-family macros,
+//! `ProptestConfig`, and strategies for numeric ranges, tuples, booleans
+//! and `prop::collection::vec`.
+//!
+//! Cases are generated from a deterministic seed derived from the test's
+//! module path and name, so failures reproduce across runs. There is no
+//! shrinking: a failing case panics with the fully rendered inputs.
+//! `*.proptest-regressions` files are not replayed (their `cc` hashes are
+//! seeds for the real crate's generator); shrunk regression inputs should
+//! be pinned as explicit unit tests alongside the properties.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A source of generated values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Clone + std::fmt::Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Constant strategy: always yields its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniformly random boolean (`prop::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// Vector of values from an element strategy, with a length sampled
+    /// from a size range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> VecStrategy<S> {
+        pub(crate) fn new(element: S, len: Range<usize>) -> Self {
+            VecStrategy { element, len }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case driving and failure reporting.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Per-property configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A property failure raised by `prop_assert!` and friends.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError {
+        /// Human-readable failure description.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+
+        /// A rejected case (`prop_assume!`); the runner skips it.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: format!("{}{}", REJECT_PREFIX, message.into()),
+            }
+        }
+
+        pub(crate) fn is_rejection(&self) -> bool {
+            self.message.starts_with(REJECT_PREFIX)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    const REJECT_PREFIX: &str = "\u{1}reject:";
+
+    /// The deterministic per-case RNG: FNV-1a over the test path, mixed
+    /// with the case index.
+    pub fn case_rng(test_path: &str, case: u32) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// Drives `cases` deterministic cases of `body`, panicking with the
+    /// case number and rendered inputs on the first failure. `body` gets
+    /// the per-case RNG and returns `(rendered_inputs, result)`.
+    pub fn run(
+        test_path: &str,
+        config: &Config,
+        mut body: impl FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+    ) {
+        let mut rejected = 0u32;
+        for case in 0..config.cases {
+            let mut rng = case_rng(test_path, case);
+            let (inputs, result) = body(&mut rng);
+            match result {
+                Ok(()) => {}
+                Err(e) if e.is_rejection() => rejected += 1,
+                Err(e) => panic!(
+                    "proptest property {test_path} failed at case {case}/{}:\n  {e}\ninputs:\n{inputs}",
+                    config.cases
+                ),
+            }
+        }
+        assert!(
+            rejected < config.cases,
+            "proptest property {test_path}: every case was rejected by prop_assume!"
+        );
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection`, `prop::bool`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// `Vec` strategy with element strategy `element` and a length in
+        /// `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy::new(element, len)
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        /// Uniformly random boolean.
+        pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+    }
+}
+
+pub mod prelude {
+    //! Everything the `proptest!` user needs in scope.
+
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Mirrors the real crate's grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(0u64..9, 1..50)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); ) => {};
+    (@impl ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let path = concat!(module_path!(), "::", stringify!($name));
+            $crate::test_runner::run(path, &config, |rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), rng);)+
+                let rendered = [
+                    $(format!("  {} = {:?}", stringify!($arg), &$arg)),+
+                ].join("\n");
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                (rendered, outcome)
+            });
+        }
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            x in 3u32..17,
+            f in -2.0f64..2.0,
+            pair in (0u64..8, -4i64..4),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(pair.0 < 8);
+            prop_assert!((-4..4).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(0u32..5, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            for &e in &v {
+                prop_assert!(e < 5);
+            }
+        }
+
+        #[test]
+        fn bool_any_and_assume(b in prop::bool::ANY, x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_eq!(u32::from(b) <= 1, true);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = crate::prop::collection::vec(0u64..100, 1..20);
+        let mut a = crate::test_runner::case_rng("demo", 5);
+        let mut b = crate::test_runner::case_rng("demo", 5);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_inputs() {
+        crate::test_runner::run(
+            "demo::always_fails",
+            &crate::test_runner::Config::with_cases(3),
+            |_rng| {
+                (
+                    "  x = 1".to_string(),
+                    Err(crate::test_runner::TestCaseError::fail("boom")),
+                )
+            },
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Marker traits standing in for serde's `Serialize`/`Deserialize`.
+//!
+//! `use serde::{Serialize, Deserialize}` imports both the (empty) traits
+//! and, with the `derive` feature, the same-named no-op derive macros —
+//! exactly the import shape the real crate offers.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; the vendored stub defines no serialization machinery.
+pub trait Serialize {}
+
+/// Marker trait; the vendored stub defines no deserialization machinery.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace derives the serde traits for documentation value and
+//! forward compatibility, but never serializes through them at runtime
+//! (JSON output is hand-rolled). The stubs accept the inert `#[serde(...)]`
+//! helper attribute and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; accepts `#[serde(...)]` field/variant attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; accepts `#[serde(...)]` field/variant attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
