@@ -39,7 +39,11 @@ pub struct SelectionRow {
 
 /// β-prefix vs top-energy coefficient selection on a smooth stock stream
 /// and a spiky scattered histogram.
-pub fn selection(scale: Scale) -> Vec<SelectionRow> {
+///
+/// # Errors
+///
+/// Propagates [`dsj_dft::CompressionError`] from the compressor.
+pub fn selection(scale: Scale) -> Result<Vec<SelectionRow>, dsj_dft::CompressionError> {
     let stock = price_series(scale.series_len().min(16_384), 77, 500.0, 0.012);
     let mut spiky = vec![0.0_f64; 4_096];
     for i in 0..64 {
@@ -49,10 +53,8 @@ pub fn selection(scale: Scale) -> Vec<SelectionRow> {
     let mut rows = Vec::new();
     for (name, signal) in [("stock", &stock), ("spiky-histogram", &spiky)] {
         for kappa in [64u32, 256] {
-            let prefix = CompressedDft::from_signal_selected(signal, kappa, Selection::Prefix)
-                .expect("non-empty signal");
-            let top = CompressedDft::from_signal_selected(signal, kappa, Selection::TopEnergy)
-                .expect("non-empty signal");
+            let prefix = CompressedDft::from_signal_selected(signal, kappa, Selection::Prefix)?;
+            let top = CompressedDft::from_signal_selected(signal, kappa, Selection::TopEnergy)?;
             rows.push(SelectionRow {
                 signal: name.to_string(),
                 kappa,
@@ -63,7 +65,7 @@ pub fn selection(scale: Scale) -> Vec<SelectionRow> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One sync-interval cell of the freshness ablation.
@@ -280,7 +282,7 @@ mod tests {
 
     #[test]
     fn selection_trade_off_holds() {
-        let rows = selection(Scale::Quick);
+        let rows = selection(Scale::Quick).unwrap();
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.top_energy_bytes > r.prefix_bytes, "index overhead");

@@ -86,6 +86,7 @@ fn main() {
 
     println!("# dsjoin reproduction harness (scale: {scale:?})");
     for (index, exp) in wanted.iter().enumerate() {
+        // dsj-lint: allow(wall-clock) — CLI progress timing of a whole section; never feeds results
         let started = Instant::now();
         obs::scoped(exp, index as u64, || {
             run_experiment(exp, scale, &exec);
@@ -186,17 +187,22 @@ fn run_fig5(scale: Scale) {
         "{:>6} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "kappa", "retained", "MSE", "p50", "p90", "max", "lossless"
     );
-    for r in figures::fig5(scale) {
-        println!(
-            "{:>6} {:>9} {:>10.4} {:>10.4} {:>10.4} {:>10.3} {:>9.1}%",
-            r.kappa,
-            r.retained,
-            r.mse,
-            r.p50,
-            r.p90,
-            r.max,
-            100.0 * r.lossless_fraction
-        );
+    match figures::fig5(scale) {
+        Ok(rows) => {
+            for r in rows {
+                println!(
+                    "{:>6} {:>9} {:>10.4} {:>10.4} {:>10.4} {:>10.3} {:>9.1}%",
+                    r.kappa,
+                    r.retained,
+                    r.mse,
+                    r.p50,
+                    r.p90,
+                    r.max,
+                    100.0 * r.lossless_fraction
+                );
+            }
+        }
+        Err(e) => eprintln!("fig5 failed: {e}"),
     }
 }
 
@@ -206,15 +212,20 @@ fn run_fig6(scale: Scale) {
         "{:>6} {:>12} {:>12} {:>10} {:>6}",
         "kappa", "E[MSE]", "std", "lossless", "<0.25"
     );
-    for r in figures::fig6(scale) {
-        println!(
-            "{:>6} {:>12.5} {:>12.5} {:>9.1}% {:>6}",
-            r.kappa,
-            r.mse_mean,
-            r.mse_std,
-            100.0 * r.lossless_fraction,
-            if r.below_threshold { "yes" } else { "no" }
-        );
+    match figures::fig6(scale) {
+        Ok(rows) => {
+            for r in rows {
+                println!(
+                    "{:>6} {:>12.5} {:>12.5} {:>9.1}% {:>6}",
+                    r.kappa,
+                    r.mse_mean,
+                    r.mse_std,
+                    100.0 * r.lossless_fraction,
+                    if r.below_threshold { "yes" } else { "no" }
+                );
+            }
+        }
+        Err(e) => eprintln!("fig6 failed: {e}"),
     }
 }
 
@@ -321,11 +332,21 @@ fn run_ablation_selection(scale: Scale) {
         "{:>16} {:>6} {:>12} {:>12} {:>10} {:>10}",
         "signal", "kappa", "prefix MSE", "top MSE", "prefix B", "top B"
     );
-    for r in ablation::selection(scale) {
-        println!(
-            "{:>16} {:>6} {:>12.4} {:>12.4} {:>10} {:>10}",
-            r.signal, r.kappa, r.prefix_mse, r.top_energy_mse, r.prefix_bytes, r.top_energy_bytes
-        );
+    match ablation::selection(scale) {
+        Ok(rows) => {
+            for r in rows {
+                println!(
+                    "{:>16} {:>6} {:>12.4} {:>12.4} {:>10} {:>10}",
+                    r.signal,
+                    r.kappa,
+                    r.prefix_mse,
+                    r.top_energy_mse,
+                    r.prefix_bytes,
+                    r.top_energy_bytes
+                );
+            }
+        }
+        Err(e) => eprintln!("ablation_selection failed: {e}"),
     }
 }
 

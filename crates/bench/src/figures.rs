@@ -50,16 +50,20 @@ pub struct Fig5Row {
 
 /// Figure 5: squared reconstruction errors of a `W ≈ 80 000`-tick stock
 /// price stream from `W/1024`, `W/256` and `W/64` DFT coefficients.
-pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
+///
+/// # Errors
+///
+/// Propagates [`dsj_dft::CompressionError`] from the compressor.
+pub fn fig5(scale: Scale) -> Result<Vec<Fig5Row>, dsj_dft::CompressionError> {
     let series = stock_series(scale);
     [1024u32, 256, 64]
         .into_iter()
         .map(|kappa| {
-            let c = CompressedDft::from_signal(&series, kappa).expect("non-empty series");
+            let c = CompressedDft::from_signal(&series, kappa)?;
             let mut se = c.squared_errors(&series);
-            se.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+            se.sort_by(f64::total_cmp);
             let stats = c.stats(&series);
-            Fig5Row {
+            Ok(Fig5Row {
                 kappa,
                 retained: c.retained(),
                 mse: stats.mse,
@@ -67,7 +71,7 @@ pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
                 p90: se[se.len() * 9 / 10],
                 max: stats.max_squared_error,
                 lossless_fraction: stats.lossless_fraction,
-            }
+            })
         })
         .collect()
 }
@@ -89,12 +93,16 @@ pub struct Fig6Row {
 
 /// Figure 6: mean ± σ of the reconstruction MSE versus compression factor,
 /// with the `E[MSE] < 0.25` threshold line.
-pub fn fig6(scale: Scale) -> Vec<Fig6Row> {
+///
+/// # Errors
+///
+/// Propagates [`dsj_dft::CompressionError`] from the compressor.
+pub fn fig6(scale: Scale) -> Result<Vec<Fig6Row>, dsj_dft::CompressionError> {
     let series = stock_series(scale);
     let mut rows = Vec::new();
     let mut kappa = 2u32;
     while (kappa as usize) <= series.len() && kappa <= 1024 {
-        let c = CompressedDft::from_signal(&series, kappa).expect("non-empty series");
+        let c = CompressedDft::from_signal(&series, kappa)?;
         let stats = c.stats(&series);
         rows.push(Fig6Row {
             kappa,
@@ -105,7 +113,7 @@ pub fn fig6(scale: Scale) -> Vec<Fig6Row> {
         });
         kappa *= 2;
     }
-    rows
+    Ok(rows)
 }
 
 fn stock_series(scale: Scale) -> Vec<f64> {
@@ -402,7 +410,7 @@ mod tests {
 
     #[test]
     fn fig5_kappa256_mostly_lossless() {
-        let rows = fig5(Scale::Quick);
+        let rows = fig5(Scale::Quick).unwrap();
         assert_eq!(rows.len(), 3);
         let k256 = rows.iter().find(|r| r.kappa == 256).unwrap();
         // The paper's Fig. 5 middle panel: ~80% of values below 0.25.
@@ -417,7 +425,7 @@ mod tests {
 
     #[test]
     fn fig6_monotone_and_thresholded() {
-        let rows = fig6(Scale::Quick);
+        let rows = fig6(Scale::Quick).unwrap();
         for pair in rows.windows(2) {
             assert!(
                 pair[1].mse_mean >= pair[0].mse_mean - 1e-9,

@@ -22,6 +22,9 @@
 //! coefficient selection policy, summary freshness vs overhead, the
 //! worst-case detector threshold, and in-flight message loss.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod ablation;
 pub mod figures;
 pub mod scale;

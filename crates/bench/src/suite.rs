@@ -99,18 +99,20 @@ impl Executor {
                     if k >= n {
                         break;
                     }
-                    let (index, item) = work[k]
-                        .lock()
-                        .expect("work slot poisoned")
-                        .take()
-                        .expect("each work slot is claimed exactly once");
+                    let claimed = work[k].lock().unwrap_or_else(|e| e.into_inner()).take();
+                    // The atomic counter hands each index out once, so the
+                    // slot is always `Some` — but a worker that somehow
+                    // lost the race just moves on.
+                    let Some((index, item)) = claimed else {
+                        continue;
+                    };
                     let out = match scope {
                         Some((label, experiment)) => {
                             dsj_core::obs::scoped(label, *experiment, || f(index, item))
                         }
                         None => f(index, item),
                     };
-                    *slots[index].lock().expect("result slot poisoned") = Some(out);
+                    *slots[index].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                 });
             }
         });
@@ -118,7 +120,8 @@ impl Executor {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(|e| e.into_inner())
+                    // dsj-lint: allow(panic) — scope() propagated worker panics above, so every slot was filled
                     .expect("every slot filled by a worker")
             })
             .collect()

@@ -1,0 +1,80 @@
+//! Double-run determinism: the same seeded experiment must produce
+//! byte-identical *stable* metrics JSONL (the phase-free projection —
+//! wall-clock phase timers legitimately differ per run) no matter how
+//! many worker threads fan the cells out.
+
+use dsj_bench::{figures, suite::Executor, Scale};
+use dsj_core::obs;
+
+fn fig8_stable_lines(jobs: usize) -> (Vec<figures::Fig8Row>, Vec<String>) {
+    let collector = obs::Collector::install();
+    let rows = obs::scoped("fig8", 0, || {
+        figures::fig8_with(Scale::Quick, &Executor::new(jobs))
+    })
+    .expect("fig8 runs");
+    let lines = collector
+        .drain()
+        .iter()
+        .map(obs::ExperimentRecord::to_stable_json_line)
+        .collect();
+    (rows, lines)
+}
+
+#[test]
+fn stable_metrics_identical_across_reruns_and_worker_counts() {
+    let (rows_a, lines_a) = fig8_stable_lines(1);
+    let (rows_b, lines_b) = fig8_stable_lines(1);
+    let (rows_p, lines_p) = fig8_stable_lines(4);
+    assert!(!lines_a.is_empty(), "fig8 must emit metrics records");
+    assert_eq!(rows_a, rows_b, "serial reruns must reproduce the figure");
+    assert_eq!(rows_a, rows_p, "parallel must reproduce the serial figure");
+    assert_eq!(
+        lines_a, lines_b,
+        "serial rerun JSONL must be byte-identical"
+    );
+    assert_eq!(lines_a, lines_p, "parallel JSONL must match serial bytes");
+}
+
+#[test]
+fn stable_metrics_round_trip_through_the_parser() {
+    let (_, lines) = fig8_stable_lines(2);
+    for line in &lines {
+        let record = obs::ExperimentRecord::from_json_line(line).expect("parse stable line");
+        assert_eq!(&record.to_stable_json_line(), line);
+        assert!(record.registry.counter("runs.ok") > 0 || !record.registry.is_empty());
+    }
+}
+
+/// End-to-end via the binary: two `repro --metrics-out` invocations write
+/// JSONL whose stable projections are byte-identical, across worker counts.
+#[test]
+fn repro_metrics_out_is_deterministic() {
+    let bin = env!("CARGO_BIN_EXE_repro");
+    let dir = std::env::temp_dir();
+    let run = |jobs: &str, name: &str| -> Vec<String> {
+        let path = dir.join(name);
+        let status = std::process::Command::new(bin)
+            .args(["fig8", "--jobs", jobs, "--metrics-out"])
+            .arg(&path)
+            .env("DSJOIN_SCALE", "quick")
+            .stdout(std::process::Stdio::null())
+            .status()
+            .expect("run repro");
+        assert!(status.success());
+        let text = std::fs::read_to_string(&path).expect("read metrics");
+        let _ = std::fs::remove_file(&path);
+        text.lines()
+            .map(|l| {
+                obs::ExperimentRecord::from_json_line(l)
+                    .expect("parse emitted line")
+                    .to_stable_json_line()
+            })
+            .collect()
+    };
+    let serial = run("1", "dsj-metrics-serial.jsonl");
+    let rerun = run("1", "dsj-metrics-rerun.jsonl");
+    let parallel = run("4", "dsj-metrics-parallel.jsonl");
+    assert!(!serial.is_empty());
+    assert_eq!(serial, rerun);
+    assert_eq!(serial, parallel);
+}

@@ -25,6 +25,23 @@ pub enum RunError {
         /// Best error reached.
         achieved: f64,
     },
+    /// A best-effort search was given an empty grid of operating points.
+    EmptyGrid,
+    /// An attached trace schedules an arrival on a node outside the
+    /// cluster.
+    TraceNodeOutOfRange {
+        /// The offending node id.
+        node: u16,
+        /// Cluster size.
+        n: u16,
+    },
+    /// An attached trace carries a key outside the attribute domain.
+    TraceKeyOutOfDomain {
+        /// The offending key.
+        key: u32,
+        /// Attribute domain size.
+        domain: u32,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -45,6 +62,15 @@ impl fmt::Display for RunError {
                 f,
                 "could not calibrate to epsilon {target_epsilon}: best achieved {achieved}"
             ),
+            RunError::EmptyGrid => {
+                write!(f, "best-effort search needs at least one operating point")
+            }
+            RunError::TraceNodeOutOfRange { node, n } => {
+                write!(f, "trace node {node} out of range for a {n}-node cluster")
+            }
+            RunError::TraceKeyOutOfDomain { key, domain } => {
+                write!(f, "trace key {key} out of attribute domain {domain}")
+            }
         }
     }
 }
@@ -71,5 +97,15 @@ mod tests {
         }
         .to_string()
         .contains("0.15"));
+        assert!(RunError::EmptyGrid.to_string().contains("operating point"));
+        assert!(RunError::TraceNodeOutOfRange { node: 99, n: 4 }
+            .to_string()
+            .contains("99"));
+        assert!(RunError::TraceKeyOutOfDomain {
+            key: 5000,
+            domain: 1024
+        }
+        .to_string()
+        .contains("5000"));
     }
 }

@@ -44,6 +44,9 @@
 //! # Ok::<(), dsj_core::RunError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod flow;
 pub mod msg;

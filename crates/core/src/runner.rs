@@ -185,17 +185,10 @@ impl ClusterConfig {
     }
 
     /// Replays a recorded [`Trace`] instead of generating the workload.
-    /// The trace's length overrides `tuples`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any recorded arrival targets a node `>= n` or a key
-    /// `>= domain`.
+    /// The trace's length overrides `tuples`. Arrivals targeting nodes
+    /// `>= n` or keys `>= domain` are rejected by [`ClusterConfig::run`]
+    /// as a [`RunError`].
     pub fn with_trace(mut self, trace: Trace) -> Self {
-        for a in trace.arrivals() {
-            assert!(a.node < self.n, "trace node {} out of range", a.node);
-            assert!(a.key < self.domain, "trace key {} out of domain", a.key);
-        }
         self.tuples = trace.len();
         self.trace = Some(trace);
         self
@@ -231,7 +224,15 @@ impl ClusterConfig {
         self
     }
 
-    fn validate(&self) -> Result<(), RunError> {
+    /// Checks the configuration for the errors [`ClusterConfig::run`]
+    /// would report, without running anything. Other runtimes hosting the
+    /// same node logic (e.g. `dsj-runtime`'s live cluster) call this
+    /// before spawning threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RunError`] the configuration violates.
+    pub fn validate(&self) -> Result<(), RunError> {
         if self.n < 2 {
             return Err(RunError::TooFewNodes(self.n));
         }
@@ -243,6 +244,22 @@ impl ClusterConfig {
         }
         if self.tuples == 0 {
             return Err(RunError::NoTuples);
+        }
+        if let Some(trace) = &self.trace {
+            for a in trace.arrivals() {
+                if a.node >= self.n {
+                    return Err(RunError::TraceNodeOutOfRange {
+                        node: a.node,
+                        n: self.n,
+                    });
+                }
+                if a.key >= self.domain {
+                    return Err(RunError::TraceKeyOutOfDomain {
+                        key: a.key,
+                        domain: self.domain,
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -304,64 +321,64 @@ impl ClusterConfig {
         });
 
         // Aggregate.
-        let aggregate_started = std::time::Instant::now();
-        let mut total = NodeMetrics::default();
-        let mut fallback_events = 0u64;
-        let mut per_node_arrivals = Vec::with_capacity(self.n as usize);
-        let mut per_node_sent = Vec::with_capacity(self.n as usize);
-        for node in sim.iter_nodes() {
-            total.absorb(node.metrics());
-            fallback_events += node.fallback_events();
-            per_node_arrivals.push(node.metrics().arrivals);
-            per_node_sent.push(node.metrics().tuple_msgs_sent);
-        }
-        let mean_arrivals = self.tuples as f64 / self.n as f64;
-        let load_imbalance = per_node_arrivals
-            .iter()
-            .fold(0.0_f64, |acc, &a| acc.max(a as f64))
-            / mean_arrivals.max(1e-9);
-        let reported = total.matches();
-        let epsilon = if truth_matches == 0 {
-            0.0
-        } else {
-            ((truth_matches as f64 - reported as f64) / truth_matches as f64).max(0.0)
-        };
-        let duration = horizon.as_secs_f64().max(1e-9);
-        let messages = sim.metrics().messages_sent;
-        let report = ExperimentReport {
-            algorithm: self.algorithm,
-            workload: self.workload.label().to_string(),
-            n: self.n,
-            window: self.window,
-            domain: self.domain,
-            kappa: self.kappa,
-            tuples: self.tuples,
-            truth_matches,
-            reported_matches: reported,
-            epsilon,
-            messages,
-            tuple_msgs: total.tuple_msgs_sent,
-            summary_msgs: total.summary_msgs_sent,
-            bytes: sim.metrics().bytes_sent,
-            data_bytes: total.data_bytes_sent,
-            overhead_bytes: total.overhead_bytes_sent,
-            overhead_ratio: if total.data_bytes_sent == 0 {
+        let report = reg.time_phase("aggregate", || {
+            let mut total = NodeMetrics::default();
+            let mut fallback_events = 0u64;
+            let mut per_node_arrivals = Vec::with_capacity(self.n as usize);
+            let mut per_node_sent = Vec::with_capacity(self.n as usize);
+            for node in sim.iter_nodes() {
+                total.absorb(node.metrics());
+                fallback_events += node.fallback_events();
+                per_node_arrivals.push(node.metrics().arrivals);
+                per_node_sent.push(node.metrics().tuple_msgs_sent);
+            }
+            let mean_arrivals = self.tuples as f64 / self.n as f64;
+            let load_imbalance = per_node_arrivals
+                .iter()
+                .fold(0.0_f64, |acc, &a| acc.max(a as f64))
+                / mean_arrivals.max(1e-9);
+            let reported = total.matches();
+            let epsilon = if truth_matches == 0 {
                 0.0
             } else {
-                total.overhead_bytes_sent as f64 / total.data_bytes_sent as f64
-            },
-            messages_per_result: messages as f64 / reported.max(1) as f64,
-            msgs_per_tuple: total.tuple_msgs_sent as f64 / self.tuples as f64,
-            duration_secs: duration,
-            throughput: reported as f64 / duration,
-            fallback_fraction: total.fallback_routes as f64 / self.tuples.max(1) as f64,
-            fallback_events,
-            per_node_arrivals,
-            per_node_sent,
-            load_imbalance,
-            dropped_messages: sim.metrics().messages_dropped,
-        };
-        reg.phase_add("aggregate", aggregate_started.elapsed());
+                ((truth_matches as f64 - reported as f64) / truth_matches as f64).max(0.0)
+            };
+            let duration = horizon.as_secs_f64().max(1e-9);
+            let messages = sim.metrics().messages_sent;
+            ExperimentReport {
+                algorithm: self.algorithm,
+                workload: self.workload.label().to_string(),
+                n: self.n,
+                window: self.window,
+                domain: self.domain,
+                kappa: self.kappa,
+                tuples: self.tuples,
+                truth_matches,
+                reported_matches: reported,
+                epsilon,
+                messages,
+                tuple_msgs: total.tuple_msgs_sent,
+                summary_msgs: total.summary_msgs_sent,
+                bytes: sim.metrics().bytes_sent,
+                data_bytes: total.data_bytes_sent,
+                overhead_bytes: total.overhead_bytes_sent,
+                overhead_ratio: if total.data_bytes_sent == 0 {
+                    0.0
+                } else {
+                    total.overhead_bytes_sent as f64 / total.data_bytes_sent as f64
+                },
+                messages_per_result: messages as f64 / reported.max(1) as f64,
+                msgs_per_tuple: total.tuple_msgs_sent as f64 / self.tuples as f64,
+                duration_secs: duration,
+                throughput: reported as f64 / duration,
+                fallback_fraction: total.fallback_routes as f64 / self.tuples.max(1) as f64,
+                fallback_events,
+                per_node_arrivals,
+                per_node_sent,
+                load_imbalance,
+                dropped_messages: sim.metrics().messages_dropped,
+            }
+        });
         // Structured observability: skipped entirely unless a harness
         // installed a collector and set an experiment scope (repro's
         // `--metrics-out`), so plain `run()` callers pay nothing.
@@ -542,17 +559,16 @@ impl ClusterConfig {
     ///
     /// # Errors
     ///
-    /// Propagates [`RunError`] from the underlying runs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `grid` is empty.
+    /// Propagates [`RunError`] from the underlying runs;
+    /// [`RunError::EmptyGrid`] when `grid` is empty.
     pub fn run_best_effort(
         &self,
         target_epsilon: f64,
         grid: &[f64],
     ) -> Result<(ExperimentReport, f64), RunError> {
-        assert!(!grid.is_empty(), "grid must contain at least one target");
+        if grid.is_empty() {
+            return Err(RunError::EmptyGrid);
+        }
         if self.algorithm == Algorithm::Base {
             return Ok((self.run()?, (self.n - 1) as f64));
         }
@@ -578,7 +594,7 @@ impl ClusterConfig {
                 best = Some((report, t));
             }
         }
-        Ok(best.expect("grid is non-empty"))
+        best.ok_or(RunError::EmptyGrid)
     }
 }
 
@@ -767,6 +783,13 @@ mod tests {
         let (base, t) = quick(Algorithm::Base).run_best_effort(0.5, &grid).unwrap();
         assert_eq!(t, 3.0);
         assert!(base.epsilon < 0.1);
+        // An empty grid is a configuration error, not a panic.
+        assert_eq!(
+            quick(Algorithm::Dftt)
+                .run_best_effort(0.5, &[])
+                .unwrap_err(),
+            RunError::EmptyGrid
+        );
     }
 
     #[test]
@@ -781,7 +804,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "trace node")]
     fn trace_with_foreign_nodes_rejected() {
         use dsj_stream::gen::Arrival;
         use dsj_stream::trace::Trace;
@@ -792,7 +814,20 @@ mod tests {
             seq: 0,
             node: 99,
         }]);
-        let _ = quick(Algorithm::Base).with_trace(trace);
+        assert_eq!(
+            quick(Algorithm::Base).with_trace(trace).run().unwrap_err(),
+            RunError::TraceNodeOutOfRange { node: 99, n: 4 }
+        );
+        let trace = Trace::from_arrivals(vec![Arrival {
+            stream: StreamId::R,
+            key: 1 << 20,
+            seq: 0,
+            node: 0,
+        }]);
+        assert!(matches!(
+            quick(Algorithm::Base).with_trace(trace).run().unwrap_err(),
+            RunError::TraceKeyOutOfDomain { .. }
+        ));
     }
 
     #[test]

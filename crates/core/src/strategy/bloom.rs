@@ -114,7 +114,7 @@ impl BloomRouter {
         }
 
         if !candidates.is_empty() {
-            candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("estimates are finite"));
+            candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
             let take = (target.ceil() as usize).max(1);
             let mut picked: Vec<u16> = candidates.into_iter().take(take).map(|(j, _)| j).collect();
             // Spend any remaining budget on hit-rate-weighted coverage of

@@ -187,7 +187,7 @@ impl DftRouter {
                 .collect();
             let any_recon = peers.iter().any(|&j| self.recon[j as usize][opp].is_some());
             if !candidates.is_empty() {
-                candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("estimates are finite"));
+                candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
                 let take = (target.ceil() as usize).max(1);
                 let mut picked: Vec<u16> =
                     candidates.into_iter().take(take).map(|(j, _)| j).collect();
@@ -348,12 +348,14 @@ impl DftRouter {
         let Some((stream, i, _)) = best else {
             return Vec::new();
         };
-        self.last_piggyback[peer as usize] = self.arrivals;
         let s = stream.index();
         let value = self.local[s].coefficients()[i];
-        self.snapshot[peer as usize][s]
-            .as_mut()
-            .expect("snapshot exists for chosen stream")[i] = value;
+        let Some(snap) = self.snapshot[peer as usize][s].as_mut() else {
+            // Unreachable: `best` only selects streams with a snapshot.
+            return Vec::new();
+        };
+        snap[i] = value;
+        self.last_piggyback[peer as usize] = self.arrivals;
         vec![SummaryPayload::Dft {
             stream,
             signal_len: self.cfg.domain,

@@ -95,11 +95,11 @@ impl SketchRouter {
             if j == self.cfg.me as usize || !self.est_stale[j][s] {
                 continue;
             }
-            self.est[j][s] = self.remote[j][opp].as_ref().map(|sk| {
-                self.local[s]
-                    .join_size(sk)
-                    .expect("cluster-wide seed keeps sketches compatible")
-            });
+            // The cluster-wide seed keeps sketches compatible; a mismatch
+            // (impossible by construction) reads as "no estimate".
+            self.est[j][s] = self.remote[j][opp]
+                .as_ref()
+                .and_then(|sk| self.local[s].join_size(sk).ok());
             self.est_stale[j][s] = false;
         }
     }

@@ -130,11 +130,7 @@ impl CompressedDft {
                     spec[i].norm_sqr() * if pairs { 2.0 } else { 1.0 }
                 };
                 let mut order: Vec<usize> = (0..half).collect();
-                order.sort_by(|&a, &b| {
-                    weighted(b)
-                        .partial_cmp(&weighted(a))
-                        .expect("finite energies")
-                });
+                order.sort_by(|&a, &b| weighted(b).total_cmp(&weighted(a)));
                 let mut chosen: Vec<usize> = order.into_iter().take(k.min(half)).collect();
                 chosen.sort_unstable();
                 Ok(CompressedDft {

@@ -32,6 +32,9 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod complex;
 pub mod compress;
 pub mod control;

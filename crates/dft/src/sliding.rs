@@ -307,6 +307,9 @@ impl PointDft {
             for (k, c) in self.coeffs.iter_mut().enumerate() {
                 let mut acc = Complex64::ZERO;
                 for (n, &x) in self.values.iter().enumerate() {
+                    // Exact test on purpose: only true zeros can be skipped
+                    // without changing the sum.
+                    // dsj-lint: allow(float-eq) — exact sparsity check; skipping only literal zeros is lossless
                     if x != 0.0 {
                         acc += Complex64::cis(base * ((k * n) % self.domain) as f64).scale(x);
                     }

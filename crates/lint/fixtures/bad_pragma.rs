@@ -1,0 +1,7 @@
+//! Seeded `pragma` violations: an unknown rule and a stale waiver.
+
+// dsj-lint: allow(nonsense) — no such rule
+fn noop() {}
+
+// dsj-lint: allow(panic) — nothing on this or the next line panics
+fn also_noop() {}

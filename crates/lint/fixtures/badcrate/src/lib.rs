@@ -1,0 +1,6 @@
+//! Seeded `crate-attrs` violation: a crate root missing both
+//! `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+
+pub fn answer() -> u32 {
+    42
+}

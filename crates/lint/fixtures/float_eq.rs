@@ -1,0 +1,5 @@
+//! Seeded `float-eq` violation: exact equality against a float literal.
+
+fn is_half(x: f64) -> bool {
+    x == 0.5
+}

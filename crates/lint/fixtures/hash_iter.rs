@@ -1,0 +1,11 @@
+//! Seeded `hash-iter` violation: `HashMap` in a deterministic path.
+
+use std::collections::HashMap;
+
+fn histogram(keys: &[u32]) -> HashMap<u32, u64> {
+    let mut m = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

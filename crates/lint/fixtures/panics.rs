@@ -1,0 +1,9 @@
+//! Seeded `panic` violations: `.unwrap()` and `panic!` in library code.
+
+fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+fn boom() {
+    panic!("library code must not panic");
+}

@@ -1,0 +1,6 @@
+//! Seeded `unseeded-rng` violation: an entropy-seeded generator.
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

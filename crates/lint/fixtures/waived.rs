@@ -1,0 +1,6 @@
+//! A correctly waived violation: counts as a waiver, not a violation.
+
+fn must(x: Option<u32>) -> u32 {
+    // dsj-lint: allow(panic) — fixture demonstrating a well-formed waiver
+    x.unwrap()
+}

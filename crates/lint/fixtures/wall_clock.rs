@@ -1,0 +1,8 @@
+//! Seeded `wall-clock` violations: `Instant::now` and `SystemTime` outside
+//! the timing allowlist.
+
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -1,0 +1,443 @@
+//! A minimal, dependency-free token scanner for Rust source.
+//!
+//! `dsj-lint` needs far less than a real parser: it must see identifiers,
+//! punctuation and literals with line numbers, while *never* mistaking the
+//! inside of a string, character literal or comment for code. This module
+//! does exactly that — comments are captured separately so waiver pragmas
+//! can be recognized, and everything else is reduced to a flat token
+//! stream the rule passes scan.
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `mod`, `HashMap`, ...).
+    Ident(String),
+    /// Punctuation; multi-character operators the rules care about
+    /// (`==`, `!=`, `::`) are joined, everything else is one character.
+    Punct(String),
+    /// An integer literal.
+    Int,
+    /// A floating-point literal (has a fractional part, an exponent, or an
+    /// `f32`/`f64` suffix).
+    Float,
+    /// A string, byte-string, raw-string or character literal.
+    Text,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// The token's classification.
+    pub kind: TokenKind,
+}
+
+/// One comment with its 1-based source line (`//`, `///`, `/* */`, ...).
+/// The text excludes the comment markers of line comments but keeps block
+/// comment interiors verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body (without the leading `//` for line comments).
+    pub text: String,
+}
+
+/// The output of [`scan`]: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Code tokens outside comments and literals.
+    pub tokens: Vec<Token>,
+    /// All comments, including doc comments.
+    pub comments: Vec<Comment>,
+}
+
+/// Scans `source` into tokens and comments. The scanner is total: any
+/// input produces a best-effort token stream (unterminated literals run to
+/// end of input rather than failing).
+pub fn scan(source: &str) -> Scan {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Scan,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Scan::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn run(mut self) -> Scan {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1u32;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let end = self.pos.saturating_sub(2).max(start);
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` and falls back
+    /// to identifier scanning when the `r`/`b` starts a plain name.
+    /// Returns `true` when it consumed anything.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let mut ahead = 1;
+        if self.peek(0) == b'b' && self.peek(1) == b'r' {
+            ahead = 2;
+        }
+        let mut hashes = 0;
+        while self.peek(ahead + hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != b'"' {
+            return false; // a normal identifier like `result`
+        }
+        let line = self.line;
+        for _ in 0..ahead + hashes + 1 {
+            self.bump();
+        }
+        // Consume until `"` followed by `hashes` hashes.
+        while self.pos < self.src.len() {
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes + 1 {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.bump();
+        }
+        self.out.tokens.push(Token {
+            line,
+            kind: TokenKind::Text,
+        });
+        true
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump();
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.out.tokens.push(Token {
+            line,
+            kind: TokenKind::Text,
+        });
+    }
+
+    /// Distinguishes `'a'` / `'\n'` (char literals) from `'a` / `'static`
+    /// (lifetimes).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        if self.peek(1) == b'\\' {
+            // Escape sequence: definitely a char literal.
+            self.bump(); // '
+            self.bump(); // \
+            self.bump(); // escaped byte
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump(); // \u{...} bodies
+            }
+            self.bump(); // closing '
+            self.out.tokens.push(Token {
+                line,
+                kind: TokenKind::Text,
+            });
+        } else if self.peek(2) == b'\'' && self.peek(1) != b'\'' {
+            // 'x' — a one-character literal.
+            self.bump();
+            self.bump();
+            self.bump();
+            self.out.tokens.push(Token {
+                line,
+                kind: TokenKind::Text,
+            });
+        } else {
+            // A lifetime: consume the quote; the name lexes as an ident.
+            self.bump();
+            self.out.tokens.push(Token {
+                line,
+                kind: TokenKind::Punct("'".to_string()),
+            });
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            // Non-decimal: digits and `_` only; suffixes fold into the
+            // trailing ident chars (e.g. `0xFFu32`).
+            self.bump();
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+        } else {
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            // A fractional part only when a digit follows the dot — `1..4`
+            // is a range and `1.max(2)` is a method call.
+            if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+                float = true;
+                self.bump();
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(0), b'e' | b'E')
+                && (self.peek(1).is_ascii_digit()
+                    || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+            {
+                float = true;
+                self.bump();
+                if matches!(self.peek(0), b'+' | b'-') {
+                    self.bump();
+                }
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+            // Type suffix (`f64` makes it a float, `u32` keeps it an int).
+            let suffix_start = self.pos;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let suffix = &self.src[suffix_start..self.pos];
+            if suffix == b"f32" || suffix == b"f64" {
+                float = true;
+            }
+        }
+        self.out.tokens.push(Token {
+            line,
+            kind: if float {
+                TokenKind::Float
+            } else {
+                TokenKind::Int
+            },
+        });
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.tokens.push(Token {
+            line,
+            kind: TokenKind::Ident(text),
+        });
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let a = self.bump();
+        let joined = match (a, self.peek(0)) {
+            (b'=', b'=') | (b'!', b'=') | (b':', b':') => {
+                let b = self.bump();
+                let mut s = String::with_capacity(2);
+                s.push(a as char);
+                s.push(b as char);
+                s
+            }
+            _ => (a as char).to_string(),
+        };
+        self.out.tokens.push(Token {
+            line,
+            kind: TokenKind::Punct(joined),
+        });
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            // unwrap() in a comment
+            /* HashMap in a block
+               comment */
+            let s = "panic!() inside a string";
+            let r = r#"raw unwrap()"#;
+            let c = 'u';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert_eq!(scan(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"a".to_string()));
+        assert!(ids.contains(&"static".to_string()));
+        // And a real char literal does not swallow the rest of the line.
+        let src2 = "let c = 'x'; let y = unwrap;";
+        assert!(idents(src2).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn float_versus_int_literals() {
+        let kinds = |src: &str| -> Vec<TokenKind> {
+            scan(src)
+                .tokens
+                .into_iter()
+                .map(|t| t.kind)
+                .filter(|k| matches!(k, TokenKind::Float | TokenKind::Int))
+                .collect()
+        };
+        assert_eq!(kinds("1.0"), vec![TokenKind::Float]);
+        assert_eq!(kinds("1e9"), vec![TokenKind::Float]);
+        assert_eq!(kinds("3f64"), vec![TokenKind::Float]);
+        assert_eq!(kinds("42"), vec![TokenKind::Int]);
+        assert_eq!(kinds("42u64"), vec![TokenKind::Int]);
+        assert_eq!(kinds("0xff"), vec![TokenKind::Int]);
+        // Ranges keep both ends integral.
+        assert_eq!(kinds("0..31"), vec![TokenKind::Int, TokenKind::Int]);
+    }
+
+    #[test]
+    fn multi_char_operators_join() {
+        let puncts: Vec<String> = scan("a == b != c::d")
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n  c";
+        let lines: Vec<u32> = scan(src).tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ ident";
+        let s = scan(src);
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(idents(src), vec!["ident"]);
+    }
+}

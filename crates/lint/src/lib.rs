@@ -1,0 +1,120 @@
+//! `dsj-lint` — repo-specific static analysis for the dsjoin workspace.
+//!
+//! A dependency-free, token-level linter enforcing the invariants the
+//! reproduction's claims rest on:
+//!
+//! - **determinism** — no `HashMap`/`HashSet` in deterministic paths, no
+//!   wall clocks outside the timing allowlist, no unseeded RNGs;
+//! - **panic-safety** — no `unwrap()`/`expect()`/`panic!`/`todo!` in
+//!   library code (tests, benches, examples exempt);
+//! - **hygiene** — every crate root carries `#![forbid(unsafe_code)]` and
+//!   `#![warn(missing_docs)]`; float `==`/`!=` comparisons are banned.
+//!
+//! Findings can be waived in place with
+//! `// dsj-lint: allow(<rule>) — <reason>`; the waiver covers the pragma's
+//! own line and the next line, and every waiver is counted and reported.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lex;
+pub mod rules;
+
+pub use rules::{classify_fixture, classify_workspace, lint_source, Finding, Rule, RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["vendor", "target", "fixtures", ".git"];
+
+/// Whether to apply workspace path rules or arm every rule (fixtures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Path-sensitive classification for the dsjoin workspace.
+    Workspace,
+    /// Every rule live on every file (self-test fixtures).
+    Fixture,
+}
+
+/// Recursively collects `.rs` files under `root`, skipping `vendor/`,
+/// `target/`, `fixtures/` and `.git/`. The result is sorted so reports
+/// are stable.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every `.rs` file under `root` and returns all findings (waived
+/// ones included), sorted by file then line.
+pub fn lint_tree(root: &Path, mode: Mode) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&path)?;
+        let class = match mode {
+            Mode::Workspace => classify_workspace(&rel),
+            Mode::Fixture => classify_fixture(&rel),
+        };
+        findings.extend(lint_source(&rel, &source, class));
+    }
+    Ok(findings)
+}
+
+/// Detects whether `root` is the dsjoin workspace (a `Cargo.toml` with a
+/// `[workspace]` table) as opposed to a fixture directory.
+pub fn is_workspace_root(root: &Path) -> bool {
+    fs::read_to_string(root.join("Cargo.toml"))
+        .map(|s| s.lines().any(|l| l.trim() == "[workspace]"))
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_detection_requires_workspace_table() {
+        // The lint crate's own Cargo.toml is a package, not a workspace.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        assert!(!is_workspace_root(here));
+        // Two levels up is the dsjoin workspace root.
+        let ws = here.join("../..");
+        assert!(is_workspace_root(&ws));
+    }
+
+    #[test]
+    fn collect_skips_vendor_and_fixtures() {
+        let ws = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = collect_rs_files(&ws).expect("walk workspace");
+        assert!(!files.is_empty());
+        for f in &files {
+            let s = f.to_string_lossy();
+            assert!(!s.contains("/vendor/"), "{s}");
+            assert!(!s.contains("/target/"), "{s}");
+            assert!(!s.contains("/fixtures/"), "{s}");
+        }
+    }
+}

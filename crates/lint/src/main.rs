@@ -1,0 +1,97 @@
+//! The `dsj-lint` binary: lints the workspace (or a fixture directory)
+//! and exits nonzero on any unwaived violation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dsj_lint::{is_workspace_root, lint_tree, Mode};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dsj-lint [PATH]
+
+Lints every .rs file under PATH (default: the enclosing workspace root).
+A PATH whose Cargo.toml declares [workspace] gets the workspace path rules;
+any other directory is linted in fixture mode (every rule armed).
+
+exit codes: 0 clean, 1 unwaived violations, 2 usage/IO error";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => match find_workspace_root() {
+            Some(p) => p,
+            None => {
+                eprintln!("dsj-lint: no enclosing workspace root found");
+                return ExitCode::from(2);
+            }
+        },
+        [p] if p != "-h" && p != "--help" => PathBuf::from(p),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if !root.is_dir() {
+        eprintln!("dsj-lint: {} is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    let mode = if is_workspace_root(&root) {
+        Mode::Workspace
+    } else {
+        Mode::Fixture
+    };
+    let findings = match lint_tree(&root, mode) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dsj-lint: io error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let violations: Vec<_> = findings.iter().filter(|f| f.is_violation()).collect();
+    let waived: Vec<_> = findings.iter().filter(|f| !f.is_violation()).collect();
+
+    for f in &violations {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    if !waived.is_empty() {
+        println!("waivers ({}):", waived.len());
+        for f in &waived {
+            println!(
+                "  {}:{}: [{}] waived — {}",
+                f.file,
+                f.line,
+                f.rule,
+                f.waiver.as_deref().unwrap_or("")
+            );
+        }
+    }
+    let mode_name = match mode {
+        Mode::Workspace => "workspace",
+        Mode::Fixture => "fixture",
+    };
+    println!(
+        "dsj-lint ({mode_name}): {} violation(s), {} waiver(s)",
+        violations.len(),
+        waived.len()
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Walks up from the current directory to the first `[workspace]` manifest.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

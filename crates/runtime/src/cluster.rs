@@ -13,8 +13,11 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 /// Error raised when the live cluster fails to run to completion.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LiveError {
+    /// The configuration failed [`ClusterConfig::validate`] — rejected
+    /// before any thread is spawned.
+    Config(dsj_core::RunError),
     /// A node thread panicked.
     NodePanicked(u16),
     /// A channel closed unexpectedly (a peer died mid-run).
@@ -24,13 +27,27 @@ pub enum LiveError {
 impl fmt::Display for LiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            LiveError::Config(e) => write!(f, "invalid cluster configuration: {e}"),
             LiveError::NodePanicked(id) => write!(f, "node thread {id} panicked"),
             LiveError::ChannelClosed => write!(f, "inter-node channel closed unexpectedly"),
         }
     }
 }
 
-impl std::error::Error for LiveError {}
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dsj_core::RunError> for LiveError {
+    fn from(e: dsj_core::RunError) -> Self {
+        LiveError::Config(e)
+    }
+}
 
 /// What one live run measured.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,8 +90,11 @@ impl LiveCluster {
     ///
     /// # Errors
     ///
-    /// [`LiveError::NodePanicked`] if any node thread dies.
+    /// [`LiveError::Config`] for configurations
+    /// [`ClusterConfig::validate`] rejects; [`LiveError::NodePanicked`] if
+    /// any node thread dies.
     pub fn run(cfg: &ClusterConfig) -> Result<LiveOutcome, LiveError> {
+        cfg.validate()?;
         let mut reg = obs::Registry::default();
         let n = cfg.n;
         let (arrivals, truth_matches) =
@@ -294,6 +314,17 @@ mod tests {
             .map(|me| reg.counter(&format!("node.{me:02}.arrivals")))
             .sum();
         assert_eq!(total_arrivals, cfg.tuples as u64);
+    }
+
+    #[test]
+    fn invalid_config_rejected_before_spawning() {
+        let err = LiveCluster::run(&quick(1, Algorithm::Base)).unwrap_err();
+        assert_eq!(err, LiveError::Config(dsj_core::RunError::TooFewNodes(1)));
+        let err = LiveCluster::run(&quick(4, Algorithm::Dft).tuples(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            LiveError::Config(dsj_core::RunError::NoTuples)
+        ));
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //! # Ok::<(), dsj_runtime::LiveError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod cluster;
 
 pub use cluster::{LiveCluster, LiveError, LiveOutcome};

@@ -36,6 +36,9 @@
 //! assert!(sim.now() >= SimTime::ZERO + SimDuration::from_millis(20));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod link;
 pub mod metrics;
 pub mod sim;

@@ -4,7 +4,7 @@
 
 use crate::sim::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Number of buckets in a [`Log2Histogram`]: one per bit position of a
 /// `u64`, plus bucket 0 for the value 0.
@@ -117,6 +117,55 @@ impl Log2Histogram {
             .collect()
     }
 
+    /// Rebuilds a histogram from its serialized parts: the
+    /// [`Self::nonzero_buckets`] pairs plus the scalar stats, i.e. exactly
+    /// what a JSONL record carries. `min` is the *reported* minimum (0 for
+    /// an empty histogram, per [`Self::min`]).
+    ///
+    /// Returns `None` when an upper bound is not a valid bucket bound or
+    /// the bucket counts do not sum to `count`.
+    pub fn from_parts(
+        buckets: &[(u64, u64)],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Option<Self> {
+        let mut h = Log2Histogram {
+            buckets: [0; LOG2_BUCKETS],
+            count,
+            sum,
+            // An empty histogram stores the `min` identity element, which
+            // `Self::min` reports as 0.
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        };
+        for &(upper, c) in buckets {
+            let i = Self::index_for_upper_bound(upper)?;
+            h.buckets[i] = h.buckets[i].checked_add(c)?;
+        }
+        if h.buckets.iter().sum::<u64>() != count {
+            return None;
+        }
+        Some(h)
+    }
+
+    /// The bucket index whose inclusive upper bound is `upper`, if any.
+    fn index_for_upper_bound(upper: u64) -> Option<usize> {
+        match upper {
+            0 => Some(0),
+            u64::MAX => Some(LOG2_BUCKETS - 1),
+            u => {
+                let next = u.checked_add(1)?;
+                if next.is_power_of_two() {
+                    Some(next.trailing_zeros() as usize)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Adds another histogram's samples into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -140,8 +189,9 @@ pub struct NetMetrics {
     pub messages_dropped: u64,
     /// Total bytes handed to links.
     pub bytes_sent: u64,
-    /// Per-directed-link (from, to) → (messages, bytes).
-    pub per_link: HashMap<(NodeId, NodeId), (u64, u64)>,
+    /// Per-directed-link (from, to) → (messages, bytes). Ordered so
+    /// per-link reports render in a stable link order.
+    pub per_link: BTreeMap<(NodeId, NodeId), (u64, u64)>,
     /// Distribution of on-wire message sizes (bytes).
     pub msg_bytes: Log2Histogram,
     /// Distribution of send→delivery latencies (microseconds of virtual
@@ -256,5 +306,31 @@ mod tests {
         assert_eq!(Log2Histogram::bucket_upper_bound(1), 1);
         assert_eq!(Log2Histogram::bucket_upper_bound(8), 255);
         assert_eq!(Log2Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn from_parts_round_trips_exactly() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 100, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let rebuilt =
+            Log2Histogram::from_parts(&h.nonzero_buckets(), h.count(), h.sum(), h.min(), h.max())
+                .expect("valid parts");
+        assert_eq!(rebuilt, h);
+
+        // An empty histogram round-trips through its reported min of 0.
+        let empty = Log2Histogram::new();
+        let rebuilt = Log2Histogram::from_parts(&[], 0, 0, empty.min(), empty.max())
+            .expect("valid empty parts");
+        assert_eq!(rebuilt, empty);
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_input() {
+        // 5 is not a bucket upper bound (bounds are 0 and 2^i - 1).
+        assert!(Log2Histogram::from_parts(&[(5, 1)], 1, 5, 5, 5).is_none());
+        // Counts must reconcile with the total.
+        assert!(Log2Histogram::from_parts(&[(1, 1)], 2, 1, 1, 1).is_none());
     }
 }

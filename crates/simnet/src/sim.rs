@@ -124,8 +124,9 @@ pub struct Simulation<N: SimNode> {
     links: Vec<LinkState>,
     cfg: LinkConfig,
     /// Per-directed-link overrides of the global link model (heterogeneous
-    /// WANs: a slow transatlantic hop, a lossy last mile, ...).
-    overrides: std::collections::HashMap<(NodeId, NodeId), LinkConfig>,
+    /// WANs: a slow transatlantic hop, a lossy last mile, ...). Ordered so
+    /// any iteration over overrides is seed-independent.
+    overrides: std::collections::BTreeMap<(NodeId, NodeId), LinkConfig>,
     rng: StdRng,
     now: SimTime,
     next_seq: u64,
@@ -151,7 +152,7 @@ impl<N: SimNode> Simulation<N> {
             queue: BinaryHeap::new(),
             links: vec![LinkState::default(); n * n],
             cfg,
-            overrides: std::collections::HashMap::new(),
+            overrides: std::collections::BTreeMap::new(),
             rng: StdRng::seed_from_u64(seed),
             now: SimTime::ZERO,
             next_seq: 0,

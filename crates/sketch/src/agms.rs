@@ -169,6 +169,11 @@ impl AgmsSketch {
     /// different shapes or seeds.
     pub fn join_size(&self, other: &AgmsSketch) -> Result<f64, SketchMismatchError> {
         self.check_compatible(other)?;
+        Ok(self.join_size_unchecked(other))
+    }
+
+    /// The estimator body, once compatibility is established.
+    fn join_size_unchecked(&self, other: &AgmsSketch) -> f64 {
         let mut group_means: Vec<f64> = (0..self.s1)
             .map(|g| {
                 let start = g * self.s0;
@@ -178,19 +183,18 @@ impl AgmsSketch {
                     / self.s0 as f64
             })
             .collect();
-        group_means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+        group_means.sort_by(f64::total_cmp);
         let mid = group_means.len() / 2;
-        let est = if group_means.len() % 2 == 1 {
+        if group_means.len() % 2 == 1 {
             group_means[mid]
         } else {
             (group_means[mid - 1] + group_means[mid]) / 2.0
-        };
-        Ok(est)
+        }
     }
 
     /// Estimates the self-join size (second frequency moment `F₂`).
     pub fn self_join_size(&self) -> f64 {
-        self.join_size(self).expect("self is always compatible")
+        self.join_size_unchecked(self)
     }
 
     /// Adds another sketch's counters into this one (the sketch of the

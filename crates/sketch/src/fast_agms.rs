@@ -174,6 +174,11 @@ impl FastAgmsSketch {
     /// Returns [`FastSketchMismatchError`] when shapes or seeds differ.
     pub fn join_size(&self, other: &FastAgmsSketch) -> Result<f64, FastSketchMismatchError> {
         self.check_compatible(other)?;
+        Ok(self.join_size_unchecked(other))
+    }
+
+    /// The estimator body, once compatibility is established.
+    fn join_size_unchecked(&self, other: &FastAgmsSketch) -> f64 {
         let mut row_estimates: Vec<f64> = (0..self.rows)
             .map(|r| {
                 let base = r * self.buckets;
@@ -182,18 +187,18 @@ impl FastAgmsSketch {
                     .sum()
             })
             .collect();
-        row_estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+        row_estimates.sort_by(f64::total_cmp);
         let mid = row_estimates.len() / 2;
-        Ok(if row_estimates.len() % 2 == 1 {
+        if row_estimates.len() % 2 == 1 {
             row_estimates[mid]
         } else {
             (row_estimates[mid - 1] + row_estimates[mid]) / 2.0
-        })
+        }
     }
 
     /// Estimates the self-join size (second frequency moment).
     pub fn self_join_size(&self) -> f64 {
-        self.join_size(self).expect("self is always compatible")
+        self.join_size_unchecked(self)
     }
 
     /// Adds another sketch's counters into this one (union of multisets).

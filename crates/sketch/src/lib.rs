@@ -13,6 +13,9 @@
 //! experiments can equalize summary sizes across DFT coefficients, sketches
 //! and Bloom filters, as the paper does.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod agms;
 pub mod bloom;
 pub mod fast_agms;

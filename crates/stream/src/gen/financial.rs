@@ -24,6 +24,8 @@ pub struct FinancialSource {
     mids: Vec<f64>,
     /// Cumulative Zipf weights over symbols.
     popularity_cdf: Vec<f64>,
+    /// `popularity_cdf.last()`, cached at construction.
+    popularity_total: f64,
     /// Per-tick probability that a symbol's mid price moves.
     move_prob: f64,
 }
@@ -54,13 +56,13 @@ impl FinancialSource {
             domain,
             mids,
             popularity_cdf,
+            popularity_total: acc,
             move_prob: 0.2,
         }
     }
 
     fn pick_symbol(&self, rng: &mut StdRng) -> usize {
-        let total = *self.popularity_cdf.last().expect("symbols exist");
-        let r = rng.gen::<f64>() * total;
+        let r = rng.gen::<f64>() * self.popularity_total;
         self.popularity_cdf.partition_point(|&c| c < r)
     }
 
@@ -147,7 +149,7 @@ mod tests {
     fn bid_ask_streams_actually_join() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut src = FinancialSource::new(1 << 12, &mut rng);
-        let mut bid_keys = std::collections::HashSet::new();
+        let mut bid_keys = std::collections::BTreeSet::new();
         for _ in 0..500 {
             bid_keys.insert(src.next_key(StreamId::R, &mut rng));
         }

@@ -21,6 +21,8 @@ pub struct NetworkSource {
     flows: u32,
     /// Cumulative Zipf weights over flow ranks.
     flow_cdf: Vec<f64>,
+    /// `flow_cdf.last()`, cached at construction.
+    flow_total: f64,
     /// Probability that the next packet continues the previous flow.
     burstiness: f64,
     /// Previous key per stream (R at 0, S at 1).
@@ -50,6 +52,7 @@ impl NetworkSource {
             domain,
             flows,
             flow_cdf,
+            flow_total: acc,
             burstiness: 0.7,
             last: [None, None],
         }
@@ -63,8 +66,7 @@ impl NetworkSource {
     }
 
     fn fresh_flow(&self, rng: &mut StdRng) -> u32 {
-        let total = *self.flow_cdf.last().expect("flows exist");
-        let r = rng.gen::<f64>() * total;
+        let r = rng.gen::<f64>() * self.flow_total;
         let rank = self.flow_cdf.partition_point(|&c| c < r) as u32;
         self.scatter(rank.min(self.flows - 1))
     }
@@ -110,7 +112,7 @@ mod tests {
     fn heavy_hitters_dominate() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut src = NetworkSource::new(1 << 16, &mut rng);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..50_000 {
             *counts
                 .entry(src.next_key(StreamId::S, &mut rng))

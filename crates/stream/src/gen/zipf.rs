@@ -13,6 +13,8 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct ZipfSource {
     cdf: Vec<f64>,
+    /// `cdf.last()`, cached so sampling never touches an `Option`.
+    total: f64,
     domain: u32,
     alpha: f64,
 }
@@ -35,7 +37,12 @@ impl ZipfSource {
             acc += 1.0 / ((i + 1) as f64).powf(alpha);
             cdf.push(acc);
         }
-        ZipfSource { cdf, domain, alpha }
+        ZipfSource {
+            cdf,
+            total: acc,
+            domain,
+            alpha,
+        }
     }
 
     /// The skew parameter.
@@ -46,8 +53,7 @@ impl ZipfSource {
 
     /// Draws one Zipf-distributed rank (0 = most popular).
     pub fn sample(&self, rng: &mut StdRng) -> u32 {
-        let total = *self.cdf.last().expect("non-empty cdf");
-        let r = rng.gen::<f64>() * total;
+        let r = rng.gen::<f64>() * self.total;
         self.cdf.partition_point(|&c| c < r) as u32
     }
 }

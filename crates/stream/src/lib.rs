@@ -23,6 +23,9 @@
 //! assert!(a.node < 4);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod gen;
 pub mod join;
 pub mod partition;

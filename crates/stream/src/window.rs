@@ -6,7 +6,7 @@
 
 use crate::tuple::Tuple;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// How a window bounds the tuples it retains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,13 +47,14 @@ impl WindowSpec {
 /// assert_eq!(evicted.len(), 1);
 /// assert_eq!(w.probe(5), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SlidingWindow {
-    spec: Option<WindowSpec>,
+    spec: WindowSpec,
     buf: VecDeque<(Tuple, u64)>,
     /// Per-key ascending sequence numbers of held tuples (tuples are
-    /// inserted in seq order, so each deque stays sorted).
-    counts: HashMap<u32, VecDeque<u64>>,
+    /// inserted in seq order, so each deque stays sorted). A `BTreeMap`
+    /// keeps iteration order independent of hasher seeding.
+    counts: BTreeMap<u32, VecDeque<u64>>,
     inserted: u64,
     evicted: u64,
 }
@@ -62,21 +63,17 @@ impl SlidingWindow {
     /// Creates an empty window with the given bounding policy.
     pub fn new(spec: WindowSpec) -> Self {
         SlidingWindow {
-            spec: Some(spec),
+            spec,
             buf: VecDeque::new(),
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             inserted: 0,
             evicted: 0,
         }
     }
 
     /// The window's bounding policy.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a default-constructed (policy-less) window.
     pub fn spec(&self) -> WindowSpec {
-        self.spec.expect("window constructed without a policy")
+        self.spec
     }
 
     /// Number of tuples currently held.
@@ -153,7 +150,8 @@ impl SlidingWindow {
         match self.spec() {
             WindowSpec::Count(n) => {
                 while self.buf.len() > n {
-                    out.push(self.pop_oldest());
+                    let Some(t) = self.pop_oldest() else { break };
+                    out.push(t);
                 }
             }
             WindowSpec::Time(span) => {
@@ -162,7 +160,8 @@ impl SlidingWindow {
                     .front()
                     .is_some_and(|&(_, ts)| now.saturating_sub(ts) > span)
                 {
-                    out.push(self.pop_oldest());
+                    let Some(t) = self.pop_oldest() else { break };
+                    out.push(t);
                 }
             }
             WindowSpec::Landmark => {}
@@ -173,26 +172,26 @@ impl SlidingWindow {
     /// Clears the window (landmark reset). Returns the evicted tuples.
     pub fn reset_landmark(&mut self) -> Vec<Tuple> {
         let mut out = Vec::with_capacity(self.buf.len());
-        while !self.buf.is_empty() {
-            out.push(self.pop_oldest());
+        while let Some(t) = self.pop_oldest() {
+            out.push(t);
         }
         out
     }
 
-    fn pop_oldest(&mut self) -> Tuple {
-        let (t, _) = self.buf.pop_front().expect("pop from non-empty buffer");
-        let seqs = self
-            .counts
-            .get_mut(&t.key)
-            .expect("count map out of sync with buffer");
-        // The globally oldest tuple is also the oldest for its key.
-        let popped = seqs.pop_front();
-        debug_assert_eq!(popped, Some(t.seq));
-        if seqs.is_empty() {
-            self.counts.remove(&t.key);
+    /// Evicts the oldest held tuple, if any, keeping the per-key counts in
+    /// sync with the buffer.
+    fn pop_oldest(&mut self) -> Option<Tuple> {
+        let (t, _) = self.buf.pop_front()?;
+        if let Some(seqs) = self.counts.get_mut(&t.key) {
+            // The globally oldest tuple is also the oldest for its key.
+            let popped = seqs.pop_front();
+            debug_assert_eq!(popped, Some(t.seq));
+            if seqs.is_empty() {
+                self.counts.remove(&t.key);
+            }
         }
         self.evicted += 1;
-        t
+        Some(t)
     }
 }
 

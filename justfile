@@ -1,7 +1,7 @@
 # Development workflow. `just ci` mirrors .github/workflows/ci.yml.
 
 # Everything CI runs, in CI order.
-ci: fmt-check clippy tier1 test-workspace repro-smoke
+ci: fmt-check clippy lint doc tier1 test-workspace repro-smoke
 
 # Formatting gate.
 fmt-check:
@@ -10,6 +10,14 @@ fmt-check:
 # Lint gate — warnings are errors.
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Repo-specific static analysis (determinism, panic-safety, hygiene).
+lint:
+    cargo run --release -p dsj-lint
+
+# API docs must build without warnings.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 # The repo's tier-1 verify (ROADMAP.md).
 tier1:

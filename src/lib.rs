@@ -35,6 +35,9 @@
 //! # Ok::<(), dsjoin::core::RunError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod cli;
 
 pub use dsj_core as core;
