@@ -1,0 +1,79 @@
+//! `dsj-bench` — per-tuple hot-path throughput harness.
+//!
+//! Usage:
+//!
+//! ```text
+//! dsj-bench [--quick] [--only SUBSTR] [--out PATH]
+//!     --quick        ~10× fewer iterations / injected tuples (CI scale)
+//!     --only SUBSTR  run only benchmarks whose id or strategy label
+//!                    contains SUBSTR (e.g. "macro", "DFT", "window")
+//!     --out PATH     write the JSON record array (default BENCH_pr3.json)
+//! ```
+//!
+//! Micro rows report steady-state ns/op for the per-tuple primitives;
+//! `macro.simnet` rows report end-to-end tuples/sec through the
+//! simulator. See DESIGN.md §7 for what each row measures and how the
+//! `BENCH_*.json` trajectory is meant to be read across PRs.
+
+use dsj_bench::hotpath::{self, BenchRecord};
+
+fn main() {
+    let mut quick = false;
+    let mut only: Option<String> = None;
+    let mut out_path = String::from("BENCH_pr3.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg == "--only" {
+            only = Some(argv.next().unwrap_or_else(|| die("--only needs a value")));
+        } else if let Some(v) = arg.strip_prefix("--only=") {
+            only = Some(v.to_string());
+        } else if arg == "--out" {
+            out_path = argv.next().unwrap_or_else(|| die("--out needs a path"));
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out_path = v.to_string();
+        } else {
+            die(&format!("unknown argument: {arg}"));
+        }
+    }
+
+    let records = hotpath::run_suite(quick, only.as_deref());
+    if records.is_empty() {
+        die("no benchmarks matched --only filter");
+    }
+    print_table(&records);
+    let json = hotpath::to_json_array(&records);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        die(&format!("writing {out_path}: {e}"));
+    }
+    println!("\nwrote {} records to {out_path}", records.len());
+}
+
+fn print_table(records: &[BenchRecord]) {
+    println!(
+        "{:<24} {:<6} {:>3} {:>14} {:>14} {:>10} {:>10}",
+        "bench", "strat", "N", "ns/op", "tuples/s", "iters", "wall_ms"
+    );
+    for r in records {
+        println!(
+            "{:<24} {:<6} {:>3} {:>14} {:>14} {:>10} {:>10.1}",
+            r.bench,
+            r.strategy.unwrap_or("-"),
+            r.n.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            r.ns_per_op
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            r.tuples_per_sec
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            r.iters,
+            r.wall_ms,
+        );
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("dsj-bench: {msg}");
+    std::process::exit(2)
+}

@@ -27,6 +27,7 @@
 
 pub mod ablation;
 pub mod figures;
+pub mod hotpath;
 pub mod scale;
 pub mod suite;
 pub mod table1;

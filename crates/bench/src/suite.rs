@@ -11,6 +11,10 @@
 //! The executor also re-establishes the caller's [`dsj_core::obs`] scope
 //! inside every worker thread, so metrics emitted by parallel runs land in
 //! the same per-experiment record they would under serial execution.
+//! Worker emissions are captured per cell and re-emitted in submission
+//! order after the pool drains: registry merging is order-sensitive
+//! (gauges are last-write-wins), so direct worker emission would make the
+//! merged record depend on thread completion order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -89,6 +93,12 @@ impl Executor {
             .map(|cell| Mutex::new(Some(cell)))
             .collect();
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // Worker emissions are captured per cell and re-emitted below in
+        // submission order: registry merging is order-sensitive (gauges
+        // are last-write-wins), so letting workers emit directly would
+        // leak completion order into the merged record.
+        let emissions: Vec<Mutex<Vec<dsj_core::obs::Registry>>> =
+            (0..n).map(|_| Mutex::new(Vec::new())).collect();
         let next = AtomicUsize::new(0);
         let f = &f;
         let scope = &scope;
@@ -108,7 +118,11 @@ impl Executor {
                     };
                     let out = match scope {
                         Some((label, experiment)) => {
-                            dsj_core::obs::scoped(label, *experiment, || f(index, item))
+                            let (out, regs) = dsj_core::obs::captured(|| {
+                                dsj_core::obs::scoped(label, *experiment, || f(index, item))
+                            });
+                            *emissions[index].lock().unwrap_or_else(|e| e.into_inner()) = regs;
+                            out
                         }
                         None => f(index, item),
                     };
@@ -116,6 +130,13 @@ impl Executor {
                 });
             }
         });
+        // Re-emit under the caller's scope, in submission order — parallel
+        // records now merge byte-identically to serial ones.
+        for cell in emissions {
+            for reg in cell.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                dsj_core::obs::emit(reg);
+            }
+        }
         slots
             .into_iter()
             .map(|slot| {
@@ -196,6 +217,31 @@ mod tests {
         assert_ne!(derive_seed(2007, 1), derive_seed(2008, 1));
         assert_eq!(derive_seed(0, 0), 0);
         assert_eq!(derive_seed(2007, 1), 0xf3b3_a1dd_be8a_688f);
+    }
+
+    #[test]
+    fn parallel_gauge_merge_is_submission_ordered() {
+        use dsj_core::obs;
+        // Gauges are last-write-wins: the merged record must keep the
+        // *last submitted* cell's value no matter which worker finishes
+        // last. Uneven spinning makes completion order scramble.
+        for _ in 0..8 {
+            let collector = obs::Collector::install();
+            obs::scoped("order", 0, || {
+                Executor::new(4).map((0..16u64).collect(), |_, x| {
+                    for _ in 0..((16 - x) * 500) {
+                        std::hint::black_box(x);
+                    }
+                    let mut reg = obs::Registry::default();
+                    reg.gauge_set("winner", x as f64);
+                    obs::emit(reg);
+                });
+            });
+            let records = collector.drain();
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].registry.gauge("winner"), Some(15.0));
+            assert_eq!(records[0].runs, 16);
+        }
     }
 
     #[test]

@@ -1,10 +1,17 @@
 //! Double-run determinism: the same seeded experiment must produce
 //! byte-identical *stable* metrics JSONL (the phase-free projection —
 //! wall-clock phase timers legitimately differ per run) no matter how
-//! many worker threads fan the cells out.
+//! many worker threads fan the cells out — and the zero-allocation
+//! routing hot path must stay in lockstep with the retained
+//! pre-optimization reference implementation.
 
 use dsj_bench::{figures, suite::Executor, Scale};
-use dsj_core::obs;
+use dsj_core::hotpath::{HarnessParams, RouterHarness};
+use dsj_core::{obs, Algorithm};
+use dsj_stream::StreamId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 
 fn fig8_stable_lines(jobs: usize) -> (Vec<figures::Fig8Row>, Vec<String>) {
     let collector = obs::Collector::install();
@@ -77,4 +84,93 @@ fn repro_metrics_out_is_deterministic() {
     assert!(!serial.is_empty());
     assert_eq!(serial, rerun);
     assert_eq!(serial, parallel);
+}
+
+/// Full-summary exchange between every ordered pair of harnesses.
+fn exchange_all(cluster: &mut [RouterHarness]) {
+    for i in 0..cluster.len() {
+        for j in 0..cluster.len() {
+            if i == j {
+                continue;
+            }
+            let (a, b) = if i < j {
+                let (lo, hi) = cluster.split_at_mut(j);
+                (&mut lo[i], &mut hi[0])
+            } else {
+                let (lo, hi) = cluster.split_at_mut(i);
+                (&mut hi[0], &mut lo[j])
+            };
+            a.exchange_into(b);
+        }
+    }
+}
+
+/// The zero-allocation hot path must never diverge from the retained
+/// pre-optimization reference: two identically-built clusters — one
+/// routed through `route`, one through `route_reference` — are driven in
+/// lockstep through seeded arrivals, window evictions and summary
+/// exchanges, and every routing decision must match exactly (same peers,
+/// same fallback flag). Because both paths consume the same RNG draws,
+/// one divergence would cascade — so agreement over thousands of tuples
+/// across every strategy and two cluster sizes is a strong equivalence
+/// proof.
+#[test]
+fn optimized_route_matches_reference_in_lockstep() {
+    for algorithm in [
+        Algorithm::Base,
+        Algorithm::Dft,
+        Algorithm::Dftt,
+        Algorithm::Bloom,
+        Algorithm::Sketch,
+    ] {
+        for n in [3u16, 5] {
+            let p = HarnessParams {
+                n,
+                domain: 1 << 10,
+                kappa: 64,
+                window: 128,
+                seed: 0xA11CE,
+            };
+            let mut opt: Vec<RouterHarness> = (0..n)
+                .map(|me| RouterHarness::new(algorithm, me, p))
+                .collect();
+            let mut reference: Vec<RouterHarness> = (0..n)
+                .map(|me| RouterHarness::new(algorithm, me, p))
+                .collect();
+            // Shared emulated windows: both clusters must see identical
+            // arrival + eviction streams.
+            let mut windows: Vec<[VecDeque<u32>; 2]> =
+                (0..n).map(|_| [VecDeque::new(), VecDeque::new()]).collect();
+            let mut drive = StdRng::seed_from_u64(p.seed ^ 0xD21F7);
+            for step in 0u64..(u64::from(n) * 128 * 6) {
+                let node = (drive.gen::<u64>() % u64::from(n)) as usize;
+                let stream = if drive.gen_bool(0.5) {
+                    StreamId::R
+                } else {
+                    StreamId::S
+                };
+                let key = (drive.gen::<u64>() % u64::from(p.domain)) as u32;
+                let w = &mut windows[node][stream.index()];
+                w.push_back(key);
+                let evicted: Vec<u32> = if w.len() > p.window {
+                    vec![w.pop_front().unwrap_or(0)]
+                } else {
+                    Vec::new()
+                };
+                opt[node].local_update(stream, key, &evicted);
+                reference[node].local_update(stream, key, &evicted);
+                if (step + 1) % 256 == 0 {
+                    exchange_all(&mut opt);
+                    exchange_all(&mut reference);
+                }
+                let (ref_peers, ref_fallback) = reference[node].route_reference(stream, key);
+                let (opt_peers, opt_fallback) = opt[node].route(stream, key);
+                assert_eq!(
+                    (opt_peers, opt_fallback),
+                    (ref_peers.as_slice(), ref_fallback),
+                    "{algorithm:?} n={n} diverged at step {step} (node {node}, {stream:?}, key {key})"
+                );
+            }
+        }
+    }
 }

@@ -81,13 +81,39 @@ impl Default for FlowParams {
 /// flooded. Returns `None` when every known correlation is non-positive —
 /// the caller should fall back to a heuristic policy.
 pub fn forwarding_probabilities(rhos: &[Option<f64>], target: f64) -> Option<Vec<f64>> {
+    let mut scratch = FlowScratch::default();
+    let mut probs = Vec::new();
+    forwarding_probabilities_into(rhos, target, &mut scratch, &mut probs).then_some(probs)
+}
+
+/// Reusable scratch for [`forwarding_probabilities_into`] — callers on the
+/// per-tuple hot path keep one of these alive so the water-fill passes
+/// allocate nothing at steady state.
+#[derive(Debug, Clone, Default)]
+pub struct FlowScratch {
+    affinity: Vec<f64>,
+    open: Vec<usize>,
+    next_open: Vec<usize>,
+}
+
+/// Allocation-free core of [`forwarding_probabilities`]: fills `probs` in
+/// place (cleared first) and returns whether a distribution exists. The
+/// float operations run in exactly the order of the allocating wrapper,
+/// so results are bit-identical.
+pub fn forwarding_probabilities_into(
+    rhos: &[Option<f64>],
+    target: f64,
+    scratch: &mut FlowScratch,
+    probs: &mut Vec<f64>,
+) -> bool {
+    probs.clear();
     if rhos.is_empty() || target <= 0.0 {
-        return None;
+        return false;
     }
     let blind = (target / rhos.len() as f64).min(1.0);
     let known_positive: f64 = rhos.iter().flatten().map(|&r| r.max(0.0)).sum();
     if known_positive <= 1e-12 && rhos.iter().any(|r| r.is_some()) {
-        return None;
+        return false;
     }
     // Effective affinity per peer: clamped ρ for known peers, a placeholder
     // proportional to the blind probability for unknown ones.
@@ -99,34 +125,33 @@ pub fn forwarding_probabilities(rhos: &[Option<f64>], target: f64) -> Option<Vec
             (known_positive / k as f64).max(1e-6)
         }
     };
-    let affinity: Vec<f64> = rhos
-        .iter()
-        .map(|r| match r {
-            Some(v) => v.max(0.0),
-            None => mean_known.min(blind.max(1e-6)),
-        })
-        .collect();
-    let mut probs = vec![0.0; rhos.len()];
+    scratch.affinity.clear();
+    scratch.affinity.extend(rhos.iter().map(|r| match r {
+        Some(v) => v.max(0.0),
+        None => mean_known.min(blind.max(1e-6)),
+    }));
+    probs.resize(rhos.len(), 0.0);
     let mut remaining = target.min(rhos.len() as f64);
     // Water-fill in two passes: peers clamped at 1.0 release budget that is
     // redistributed over the rest.
-    let mut open: Vec<usize> = (0..rhos.len()).collect();
+    scratch.open.clear();
+    scratch.open.extend(0..rhos.len());
     for _ in 0..2 {
-        let mass: f64 = open.iter().map(|&j| affinity[j]).sum();
+        let mass: f64 = scratch.open.iter().map(|&j| scratch.affinity[j]).sum();
         if mass <= 1e-12 || remaining <= 1e-12 {
             break;
         }
         let w = remaining / mass;
-        let mut next_open = Vec::new();
-        for &j in &open {
-            let p = (w * affinity[j]).min(1.0);
+        scratch.next_open.clear();
+        for &j in &scratch.open {
+            let p = (w * scratch.affinity[j]).min(1.0);
             probs[j] = p;
             if p < 1.0 {
-                next_open.push(j);
+                scratch.next_open.push(j);
             }
         }
         remaining = (target - probs.iter().sum::<f64>()).max(0.0);
-        open = next_open;
+        std::mem::swap(&mut scratch.open, &mut scratch.next_open);
     }
     // Budget the affinities could not justify is spread uniformly — a
     // target approaching N−1 must approach broadcast regardless of how
@@ -135,17 +160,20 @@ pub fn forwarding_probabilities(rhos: &[Option<f64>], target: f64) -> Option<Vec
         if remaining <= 1e-9 {
             break;
         }
-        let open: Vec<usize> = (0..probs.len()).filter(|&j| probs[j] < 1.0).collect();
-        if open.is_empty() {
+        scratch.open.clear();
+        scratch
+            .open
+            .extend((0..probs.len()).filter(|&j| probs[j] < 1.0));
+        if scratch.open.is_empty() {
             break;
         }
-        let share = remaining / open.len() as f64;
-        for &j in &open {
+        let share = remaining / scratch.open.len() as f64;
+        for &j in &scratch.open {
             probs[j] = (probs[j] + share).min(1.0);
         }
         remaining = (target - probs.iter().sum::<f64>()).max(0.0);
     }
-    Some(probs)
+    true
 }
 
 /// `true` when the known correlations are too uniform to carry routing
@@ -153,18 +181,31 @@ pub fn forwarding_probabilities(rhos: &[Option<f64>], target: f64) -> Option<Vec
 /// coefficient of variation σ/μ: uniformly distributed data drives every
 /// pairwise ρ to the same (high) value, while skewed data spreads them.
 pub fn detect_uniform(rhos: &[Option<f64>], cv_threshold: f64) -> bool {
-    let known: Vec<f64> = rhos.iter().flatten().copied().collect();
-    if known.len() < 2 || known.len() * 2 < rhos.len() {
+    // Two streaming passes over the known entries (count+sum, then
+    // variance) — same summation order as collecting them into a buffer,
+    // without the per-call allocation.
+    let mut count = 0usize;
+    let mut sum = 0.0f64;
+    for &r in rhos.iter().flatten() {
+        count += 1;
+        sum += r;
+    }
+    if count < 2 || count * 2 < rhos.len() {
         // Too few summaries to judge; assume skew until proven otherwise.
         return false;
     }
-    let n = known.len() as f64;
-    let mean = known.iter().sum::<f64>() / n;
+    let n = count as f64;
+    let mean = sum / n;
     if mean <= 1e-9 {
         // No correlation mass at all: let the probability builder decide.
         return false;
     }
-    let var = known.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
+    let var = rhos
+        .iter()
+        .flatten()
+        .map(|&r| (r - mean) * (r - mean))
+        .sum::<f64>()
+        / n;
     var.sqrt() / mean < cv_threshold
 }
 
@@ -176,12 +217,21 @@ pub fn detect_uniform(rhos: &[Option<f64>], cv_threshold: f64) -> bool {
 /// single probability saturates, making routing decisions depend on
 /// *which* peers were certain rather than only on the seed.
 pub fn sample_recipients(probs: &[f64], rng: &mut StdRng) -> Vec<usize> {
-    probs
-        .iter()
-        .enumerate()
-        .filter(|&(_, &p)| rng.gen_bool(p.clamp(0.0, 1.0)))
-        .map(|(j, _)| j)
-        .collect()
+    let mut out = Vec::new();
+    sample_recipients_into(probs, rng, &mut out);
+    out
+}
+
+/// Allocation-free [`sample_recipients`]: clears and fills `out`. The
+/// one-draw-per-peer contract is identical, so both variants consume the
+/// same RNG stream.
+pub fn sample_recipients_into(probs: &[f64], rng: &mut StdRng, out: &mut Vec<usize>) {
+    out.clear();
+    for (j, &p) in probs.iter().enumerate() {
+        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            out.push(j);
+        }
+    }
 }
 
 /// Round-robin peer selection — the fallback distribution policy for the
@@ -204,11 +254,23 @@ impl RoundRobin {
     ///
     /// Panics if `n < 2` or `me >= n`.
     pub fn pick(&mut self, me: u16, n: u16, count: usize) -> Vec<u16> {
+        let mut out = Vec::new();
+        self.pick_into(me, n, count, &mut out);
+        out
+    }
+
+    /// Allocation-free [`RoundRobin::pick`]: clears and fills `out`,
+    /// advancing the cursor identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `me >= n`.
+    pub fn pick_into(&mut self, me: u16, n: u16, count: usize, out: &mut Vec<u16>) {
         assert!(n >= 2, "need at least two nodes");
         assert!(me < n, "node id out of range");
         let peers = (n - 1) as usize;
         let take = count.min(peers);
-        let mut out = Vec::with_capacity(take);
+        out.clear();
         while out.len() < take {
             let candidate = self.cursor % n;
             self.cursor = (self.cursor + 1) % n;
@@ -216,7 +278,6 @@ impl RoundRobin {
                 out.push(candidate);
             }
         }
-        out
     }
 }
 

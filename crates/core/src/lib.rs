@@ -49,6 +49,7 @@
 
 pub mod error;
 pub mod flow;
+pub mod hotpath;
 pub mod msg;
 pub mod node;
 pub mod obs;

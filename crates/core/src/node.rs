@@ -2,7 +2,7 @@
 //! summary dissemination (the per-node runtime of Fig. 7).
 
 use crate::msg::Msg;
-use crate::strategy::{peers_of, Algorithm, Router, RouterConfig};
+use crate::strategy::{peers_of, Algorithm, Route, Router, RouterConfig};
 use dsj_simnet::{Ctx, NodeId, SimNode};
 use dsj_stream::{SlidingWindow, StreamId, Tuple, WindowSpec};
 use rand::rngs::StdRng;
@@ -167,6 +167,10 @@ pub struct JoinNode {
     rng: StdRng,
     metrics: NodeMetrics,
     governor: Option<ThroughputGovernor>,
+    /// Route scratch reused across arrivals (zero steady-state allocation).
+    route_scratch: Route,
+    /// Outgoing-message buffer reused by the `SimNode` adapter.
+    msg_scratch: Vec<(u16, Msg)>,
 }
 
 impl JoinNode {
@@ -192,6 +196,8 @@ impl JoinNode {
             rng,
             metrics: NodeMetrics::default(),
             governor: None,
+            route_scratch: Route::default(),
+            msg_scratch: Vec::new(),
         }
     }
 
@@ -232,13 +238,6 @@ impl JoinNode {
         }
     }
 
-    fn window_mut(&mut self, stream: StreamId) -> &mut SlidingWindow {
-        match stream {
-            StreamId::R => &mut self.r_win,
-            StreamId::S => &mut self.s_win,
-        }
-    }
-
     fn counts(&self, seq: u64) -> bool {
         seq >= self.count_from_seq
     }
@@ -250,6 +249,16 @@ impl JoinNode {
     /// `(peer, message)` pairs. `now_us` is the node's clock in
     /// microseconds (virtual or wall, depending on the runtime).
     pub fn handle_arrival(&mut self, tuple: Tuple, now_us: u64) -> Vec<(u16, Msg)> {
+        let mut out = Vec::new();
+        self.handle_arrival_into(tuple, now_us, &mut out);
+        out
+    }
+
+    /// Allocation-free [`JoinNode::handle_arrival`]: clears and fills `out`
+    /// with the `(peer, message)` pairs to transmit. The per-arrival route
+    /// state lives in buffers reused across calls.
+    pub fn handle_arrival_into(&mut self, tuple: Tuple, now_us: u64, out: &mut Vec<(u16, Msg)>) {
+        out.clear();
         debug_assert_eq!(tuple.origin, self.me, "arrival routed to wrong node");
         // Local join: probe the opposite window, then store. Every stored
         // tuple has a smaller seq, so each co-located pair counts exactly
@@ -258,23 +267,33 @@ impl JoinNode {
         if self.counts(tuple.seq) {
             self.metrics.local_matches += u64::from(local);
         }
-        let evicted = self.window_mut(tuple.stream).insert(tuple, now_us);
-        let evicted_keys: Vec<u32> = evicted.iter().map(|t| t.key).collect();
+        // Insert into the tuple's window, then hand the evicted keys (a
+        // borrow of the window's reusable eviction buffer — disjoint from
+        // the router field) to summary maintenance.
+        let evicted_keys: &[u32] = match tuple.stream {
+            StreamId::R => {
+                self.r_win.insert(tuple, now_us);
+                self.r_win.evicted_keys()
+            }
+            StreamId::S => {
+                self.s_win.insert(tuple, now_us);
+                self.s_win.evicted_keys()
+            }
+        };
         self.router
-            .local_update(tuple.stream, tuple.key, &evicted_keys);
+            .local_update(tuple.stream, tuple.key, evicted_keys);
         self.router.note_arrival();
         self.metrics.arrivals += 1;
 
-        let mut out = Vec::new();
         // Route toward likely join partners, under the governor's current
         // resource-availability scale.
         let scale = match &mut self.governor {
             Some(g) => g.scale(now_us),
             None => 1.0,
         };
-        let route = self
-            .router
-            .route(tuple.stream, tuple.key, scale, &mut self.rng);
+        let mut route = std::mem::take(&mut self.route_scratch);
+        self.router
+            .route_into(tuple.stream, tuple.key, scale, &mut self.rng, &mut route);
         if route.fallback {
             self.metrics.fallback_routes += 1;
         }
@@ -313,7 +332,7 @@ impl JoinNode {
             }
             out.push((peer, msg));
         }
-        out
+        self.route_scratch = route;
     }
 
     /// Transport-agnostic network-message handling: apply summaries, probe
@@ -348,10 +367,13 @@ impl SimNode for JoinNode {
     type Msg = Msg;
 
     fn on_input(&mut self, tuple: Tuple, ctx: &mut Ctx<'_, Msg>) {
-        for (peer, msg) in self.handle_arrival(tuple, ctx.now().as_micros()) {
+        let mut msgs = std::mem::take(&mut self.msg_scratch);
+        self.handle_arrival_into(tuple, ctx.now().as_micros(), &mut msgs);
+        for (peer, msg) in msgs.drain(..) {
             let bytes = msg.wire_bytes();
             ctx.send(peer, msg, bytes);
         }
+        self.msg_scratch = msgs;
     }
 
     fn on_message(&mut self, from: NodeId, msg: Msg, _ctx: &mut Ctx<'_, Msg>) {

@@ -664,6 +664,36 @@ pub fn current_scope() -> Option<(String, u64)> {
     SCOPE.with(|s| s.borrow().clone())
 }
 
+thread_local! {
+    static CAPTURE: RefCell<Option<Vec<Registry>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's [`emit`] calls diverted into a buffer, and
+/// returns `f`'s result plus the captured registries in emission order.
+///
+/// Merging a registry into an experiment record is order-sensitive (gauges
+/// are last-write-wins), so a parallel executor must not let worker
+/// threads emit straight into the shared collector — completion order
+/// would leak into the merged record. Workers capture instead, and the
+/// caller re-emits every buffer in submission order.
+pub fn captured<R>(f: impl FnOnce() -> R) -> (R, Vec<Registry>) {
+    let prev = CAPTURE.with(|c| c.replace(Some(Vec::new())));
+    // Guard restores the previous buffer even if `f` panics.
+    struct RestoreCapture(Option<Option<Vec<Registry>>>);
+    impl Drop for RestoreCapture {
+        fn drop(&mut self) {
+            if let Some(prev) = self.0.take() {
+                CAPTURE.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+    }
+    let mut guard = RestoreCapture(Some(prev));
+    let out = f();
+    let prev = guard.0.take().unwrap_or_default();
+    let buf = CAPTURE.with(|c| c.replace(prev)).unwrap_or_default();
+    (out, buf)
+}
+
 /// `true` when a [`Collector`] is installed and this thread has a scope —
 /// i.e. when filling a registry will not be wasted work.
 pub fn enabled() -> bool {
@@ -675,6 +705,19 @@ pub fn enabled() -> bool {
 /// scope. A no-op (the registry is dropped) when no collector is
 /// installed or no scope is set.
 pub fn emit(registry: Registry) {
+    let registry = match CAPTURE.with(move |c| {
+        let mut buf = c.borrow_mut();
+        match buf.as_mut() {
+            Some(captured) => {
+                captured.push(registry);
+                None
+            }
+            None => Some(registry),
+        }
+    }) {
+        Some(r) => r,
+        None => return,
+    };
     let Some((label, index)) = current_scope() else {
         return;
     };

@@ -21,12 +21,20 @@ impl BaseRouter {
         }
     }
 
-    /// Routes to every peer.
+    /// Routes to every peer (allocating convenience over
+    /// [`BaseRouter::route_into`]; production goes through the latter).
+    #[cfg(test)]
     pub fn route(&self) -> Route {
-        Route {
-            peers: peers_of(self.me, self.n).collect(),
-            fallback: false,
-        }
+        let mut out = Route::default();
+        self.route_into(&mut out);
+        out
+    }
+
+    /// Allocation-free broadcast: refills `out` with every peer.
+    pub fn route_into(&self, out: &mut Route) {
+        out.peers.clear();
+        out.peers.extend(peers_of(self.me, self.n));
+        out.fallback = false;
     }
 }
 

@@ -21,7 +21,10 @@
 //! paper prescribes.
 
 use super::{peers_of, Route, RouterConfig, SyncState};
-use crate::flow::{detect_uniform, forwarding_probabilities, sample_recipients, RoundRobin};
+use crate::flow::{
+    detect_uniform, forwarding_probabilities, forwarding_probabilities_into, sample_recipients,
+    sample_recipients_into, FlowScratch, RoundRobin,
+};
 use crate::msg::{CoeffUpdate, SummaryPayload};
 use dsj_dft::sliding::PointDft;
 use dsj_dft::spectrum::cross_correlation_coefficient;
@@ -65,6 +68,27 @@ pub(crate) struct DftRouter {
     sync: SyncState,
     rr: RoundRobin,
     fallback_events: u64,
+    /// The fixed peer list (`peers_of` order), computed once.
+    peers: Vec<u16>,
+    /// Per-tuple scratch, reused across `route_into` calls so the steady
+    /// state allocates nothing: ρ snapshot aligned with `peers`, membership
+    /// candidates, residual affinities, forwarding probabilities, sampled
+    /// peer indices.
+    rhos_scratch: Vec<Option<f64>>,
+    candidates: Vec<(u16, f64)>,
+    residual: Vec<Option<f64>>,
+    probs: Vec<f64>,
+    sampled: Vec<usize>,
+    /// Indexed by node id; marks membership-picked peers during the
+    /// residual pass (replaces a linear `picked.contains` rescan). Always
+    /// all-`false` between calls.
+    picked_mask: Vec<bool>,
+    flow_scratch: FlowScratch,
+    /// Cached uniform-CV verdict per *tuple* stream. The inputs (the ρ
+    /// cache) change only under `rho_stale`, so this is invalidated exactly
+    /// where staleness is introduced and recomputed at most once per
+    /// refresh period instead of per tuple.
+    uniform_cache: [Option<bool>; 2],
 }
 
 impl DftRouter {
@@ -97,6 +121,15 @@ impl DftRouter {
             ),
             rr: RoundRobin::new(),
             fallback_events: 0,
+            peers: peers_of(cfg.me, cfg.n).collect(),
+            rhos_scratch: Vec::new(),
+            candidates: Vec::new(),
+            residual: Vec::new(),
+            probs: Vec::new(),
+            sampled: Vec::new(),
+            picked_mask: vec![false; n],
+            flow_scratch: FlowScratch::default(),
+            uniform_cache: [None, None],
             cfg,
         }
     }
@@ -130,6 +163,8 @@ impl DftRouter {
             for flags in &mut self.rho_stale {
                 *flags = [true, true];
             }
+            // ρ will move on the next refresh; the CV verdict may too.
+            self.uniform_cache = [None, None];
         }
     }
 
@@ -158,8 +193,172 @@ impl DftRouter {
         }
     }
 
-    /// Routes one arriving tuple.
+    /// Routes one arriving tuple (allocating convenience over
+    /// [`DftRouter::route_into`]; production goes through the latter).
+    #[cfg(test)]
     pub fn route(&mut self, stream: StreamId, key: u32, scale: f64, rng: &mut StdRng) -> Route {
+        let mut out = Route::default();
+        self.route_into(stream, key, scale, rng, &mut out);
+        out
+    }
+
+    /// Allocation-free routing: clears and fills `out` using the router's
+    /// persistent scratch buffers. Behaviorally identical to
+    /// [`DftRouter::route_reference`] — same float operations, same RNG
+    /// draws, same routes — which the determinism suite asserts on seeded
+    /// streams.
+    pub fn route_into(
+        &mut self,
+        stream: StreamId,
+        key: u32,
+        scale: f64,
+        rng: &mut StdRng,
+        out: &mut Route,
+    ) {
+        out.peers.clear();
+        out.fallback = false;
+        let target =
+            (self.cfg.flow.target.target(self.cfg.n) * scale).clamp(0.0, (self.cfg.n - 1) as f64);
+        self.refresh_rho(stream);
+        let me = self.cfg.me as usize;
+        let s = stream.index();
+        // ρ snapshot aligned with `self.peers` (the `peers_of` order).
+        self.rhos_scratch.clear();
+        for j in 0..self.cfg.n as usize {
+            if j == me {
+                continue;
+            }
+            let r = self.rho[j][s];
+            self.rhos_scratch.push(r);
+        }
+
+        // Uniform-data detection (Section 5.2.2): when the window-level
+        // correlations are indistinguishable, neither ρ-weighted flow
+        // filtering nor the membership reconstructions (flat histograms)
+        // carry signal — fall back to round-robin. Membership tests still
+        // take precedence whenever the correlations *do* spread.
+        let uniform = match self.uniform_cache[s] {
+            Some(u) => u,
+            None => {
+                let u = detect_uniform(&self.rhos_scratch, self.cfg.flow.uniform_cv_threshold);
+                self.uniform_cache[s] = Some(u);
+                u
+            }
+        };
+
+        if self.tuple_testing && !uniform {
+            let opp = stream.opposite().index();
+            self.candidates.clear();
+            let mut any_recon = false;
+            for j in 0..self.cfg.n as usize {
+                if j == me {
+                    continue;
+                }
+                let est = match self.recon[j][opp].as_ref() {
+                    Some(recon) => {
+                        any_recon = true;
+                        recon[key as usize]
+                    }
+                    None => continue,
+                };
+                if est >= 0.5 {
+                    self.candidates.push((j as u16, est));
+                }
+            }
+            if !self.candidates.is_empty() {
+                self.candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
+                let take = (target.ceil() as usize).max(1);
+                for idx in 0..take.min(self.candidates.len()) {
+                    let j = self.candidates[idx].0;
+                    out.peers.push(j);
+                }
+                // Budget beyond the membership hits buys correlation-routed
+                // coverage of sites the (lossy) reconstruction may miss —
+                // how DFTT trades extra messages for lower ε (Fig. 9).
+                let leftover = target - out.peers.len() as f64;
+                if leftover > 0.05 {
+                    for &j in out.peers.iter() {
+                        self.picked_mask[j as usize] = true;
+                    }
+                    self.residual.clear();
+                    for idx in 0..self.peers.len() {
+                        let j = self.peers[idx] as usize;
+                        let r = if self.picked_mask[j] {
+                            Some(0.0)
+                        } else {
+                            self.rhos_scratch[idx]
+                        };
+                        self.residual.push(r);
+                    }
+                    if forwarding_probabilities_into(
+                        &self.residual,
+                        leftover,
+                        &mut self.flow_scratch,
+                        &mut self.probs,
+                    ) {
+                        sample_recipients_into(&self.probs, rng, &mut self.sampled);
+                        for &i in &self.sampled {
+                            out.peers.push(self.peers[i]);
+                        }
+                        out.peers.sort_unstable();
+                        out.peers.dedup();
+                    }
+                    // Restore the all-`false` mask invariant. Membership
+                    // picks sit in the residual pass with probability zero,
+                    // so they are never re-sampled and always survive the
+                    // dedup — clearing through `out.peers` covers every
+                    // bit that was set.
+                    for &j in out.peers.iter() {
+                        self.picked_mask[j as usize] = false;
+                    }
+                }
+                return;
+            }
+            // The suppression confidence relaxes with the message budget:
+            // at T = N−1 the caller asked for broadcast coverage, so "no
+            // candidate" must not drop tuples; at T = 1 suppression is the
+            // whole win.
+            let frac = ((target - 1.0) / ((self.cfg.n as f64) - 2.0).max(1.0)).clamp(0.0, 1.0);
+            let explore_eff =
+                (self.cfg.flow.explore + frac * (1.0 - self.cfg.flow.explore)).min(1.0);
+            if any_recon && !rng.gen_bool(explore_eff) {
+                // Every reconstruction says "no partners anywhere": save
+                // the messages (the DFTT advantage of Fig. 9).
+                return;
+            }
+        }
+
+        if uniform {
+            self.fallback_into(target, out);
+            return;
+        }
+
+        if forwarding_probabilities_into(
+            &self.rhos_scratch,
+            target,
+            &mut self.flow_scratch,
+            &mut self.probs,
+        ) {
+            sample_recipients_into(&self.probs, rng, &mut self.sampled);
+            for &i in &self.sampled {
+                out.peers.push(self.peers[i]);
+            }
+        } else {
+            self.fallback_into(target, out);
+        }
+    }
+
+    /// The pre-optimization `route` implementation, retained verbatim so
+    /// the determinism suite can prove [`DftRouter::route_into`] never
+    /// diverges from it (same peers, same fallback flag, same RNG draw
+    /// counts) on seeded streams.
+    pub fn route_reference(
+        &mut self,
+        stream: StreamId,
+        key: u32,
+        scale: f64,
+        rng: &mut StdRng,
+    ) -> Route {
         let target =
             (self.cfg.flow.target.target(self.cfg.n) * scale).clamp(0.0, (self.cfg.n - 1) as f64);
         self.refresh_rho(stream);
@@ -169,11 +368,6 @@ impl DftRouter {
             .map(|&j| self.rho[j as usize][stream.index()])
             .collect();
 
-        // Uniform-data detection (Section 5.2.2): when the window-level
-        // correlations are indistinguishable, neither ρ-weighted flow
-        // filtering nor the membership reconstructions (flat histograms)
-        // carry signal — fall back to round-robin. Membership tests still
-        // take precedence whenever the correlations *do* spread.
         let uniform = detect_uniform(&rhos, self.cfg.flow.uniform_cv_threshold);
 
         if self.tuple_testing && !uniform {
@@ -191,9 +385,6 @@ impl DftRouter {
                 let take = (target.ceil() as usize).max(1);
                 let mut picked: Vec<u16> =
                     candidates.into_iter().take(take).map(|(j, _)| j).collect();
-                // Budget beyond the membership hits buys correlation-routed
-                // coverage of sites the (lossy) reconstruction may miss —
-                // how DFTT trades extra messages for lower ε (Fig. 9).
                 let leftover = target - picked.len() as f64;
                 if leftover > 0.05 {
                     let residual: Vec<Option<f64>> = peers
@@ -212,16 +403,10 @@ impl DftRouter {
                     fallback: false,
                 };
             }
-            // The suppression confidence relaxes with the message budget:
-            // at T = N−1 the caller asked for broadcast coverage, so "no
-            // candidate" must not drop tuples; at T = 1 suppression is the
-            // whole win.
             let frac = ((target - 1.0) / ((self.cfg.n as f64) - 2.0).max(1.0)).clamp(0.0, 1.0);
             let explore_eff =
                 (self.cfg.flow.explore + frac * (1.0 - self.cfg.flow.explore)).min(1.0);
             if any_recon && !rng.gen_bool(explore_eff) {
-                // Every reconstruction says "no partners anywhere": save
-                // the messages (the DFTT advantage of Fig. 9).
                 return Route::default();
             }
         }
@@ -243,12 +428,17 @@ impl DftRouter {
     }
 
     fn fallback(&mut self, target: f64) -> Route {
+        let mut out = Route::default();
+        self.fallback_into(target, &mut out);
+        out
+    }
+
+    fn fallback_into(&mut self, target: f64, out: &mut Route) {
         self.fallback_events += 1;
         let count = (target.round() as usize).max(1);
-        Route {
-            peers: self.rr.pick(self.cfg.me, self.cfg.n, count),
-            fallback: true,
-        }
+        self.rr
+            .pick_into(self.cfg.me, self.cfg.n, count, &mut out.peers);
+        out.fallback = true;
     }
 
     /// Ingests a peer's coefficient updates.
@@ -271,6 +461,10 @@ impl DftRouter {
         }
         // Tuples of the *opposite* stream correlate against this summary.
         self.rho_stale[j][stream.opposite().index()] = true;
+        // The uniform-CV verdict is a pure function of the ρ row, which only
+        // changes after a staleness mark — invalidate the memo here and at
+        // the local refresh tick, nowhere else.
+        self.uniform_cache[stream.opposite().index()] = None;
         if self.tuple_testing {
             self.recon[j][s] = Some(
                 CompressedDft::from_prefix(coeffs.clone(), self.cfg.domain as usize).reconstruct(),

@@ -215,11 +215,46 @@ impl Router {
     /// target (the throughput governor's resource-availability dial;
     /// `1.0` = nominal budget).
     pub fn route(&mut self, stream: StreamId, key: u32, scale: f64, rng: &mut StdRng) -> Route {
+        let mut out = Route::default();
+        self.route_into(stream, key, scale, rng, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Router::route`]: clears and refills
+    /// `out`, reusing its `peers` capacity across tuples. BASE and the
+    /// DFT family are fully scratch-based; BLOOM/SKCH still build their
+    /// route internally (their per-tuple cost is dominated by hashing,
+    /// not allocation) and move it into `out`.
+    pub fn route_into(
+        &mut self,
+        stream: StreamId,
+        key: u32,
+        scale: f64,
+        rng: &mut StdRng,
+        out: &mut Route,
+    ) {
         match self {
-            Router::Base(r) => r.route(),
-            Router::Dft(r) => r.route(stream, key, scale, rng),
-            Router::Bloom(r) => r.route(stream, key, scale, rng),
-            Router::Sketch(r) => r.route(stream, key, scale, rng),
+            Router::Base(r) => r.route_into(out),
+            Router::Dft(r) => r.route_into(stream, key, scale, rng, out),
+            Router::Bloom(r) => *out = r.route(stream, key, scale, rng),
+            Router::Sketch(r) => *out = r.route(stream, key, scale, rng),
+        }
+    }
+
+    /// The pre-optimization routing implementation, retained so the
+    /// determinism suite can prove the scratch-based path never diverges
+    /// from it. Identical to [`Router::route`] for strategies that were
+    /// not rewritten.
+    pub fn route_reference(
+        &mut self,
+        stream: StreamId,
+        key: u32,
+        scale: f64,
+        rng: &mut StdRng,
+    ) -> Route {
+        match self {
+            Router::Dft(r) => r.route_reference(stream, key, scale, rng),
+            _ => self.route(stream, key, scale, rng),
         }
     }
 

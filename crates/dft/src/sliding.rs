@@ -200,6 +200,11 @@ pub struct PointDft {
     values: Vec<f64>,
     coeffs: Vec<Complex64>,
     domain: usize,
+    // Precomputed `e^{-2πiq/D}` for q in 0..D: every rotation any update
+    // can need, so the per-update loop does no trig. Entry `q` holds
+    // exactly `Complex64::cis(-2π·q/D)` — the same expression the direct
+    // computation would evaluate — so results are bit-identical.
+    twiddle: Vec<Complex64>,
     control: ControlVector,
     updates_since_recompute: u64,
     total_updates: u64,
@@ -219,10 +224,14 @@ impl PointDft {
             k > 0 && k <= domain,
             "tracked coefficients must be in 1..=domain"
         );
+        let base = -2.0 * PI / domain as f64;
         PointDft {
             values: vec![0.0; domain],
             coeffs: vec![Complex64::ZERO; k],
             domain,
+            twiddle: (0..domain)
+                .map(|q| Complex64::cis(base * q as f64))
+                .collect(),
             control: control.with_window(domain, k),
             updates_since_recompute: 0,
             total_updates: 0,
@@ -284,10 +293,9 @@ impl PointDft {
     pub fn add(&mut self, index: usize, delta: f64) {
         assert!(index < self.domain, "index out of domain");
         self.values[index] += delta;
-        let base = -2.0 * PI / self.domain as f64;
         for (k, c) in self.coeffs.iter_mut().enumerate() {
             let q = (k * index) % self.domain;
-            *c += Complex64::cis(base * q as f64).scale(delta);
+            *c += self.twiddle[q].scale(delta);
         }
         self.total_updates += 1;
         self.updates_since_recompute += 1;
@@ -303,7 +311,6 @@ impl PointDft {
             let k = self.coeffs.len();
             self.coeffs.copy_from_slice(&spec[..k]);
         } else {
-            let base = -2.0 * PI / self.domain as f64;
             for (k, c) in self.coeffs.iter_mut().enumerate() {
                 let mut acc = Complex64::ZERO;
                 for (n, &x) in self.values.iter().enumerate() {
@@ -311,7 +318,7 @@ impl PointDft {
                     // without changing the sum.
                     // dsj-lint: allow(float-eq) — exact sparsity check; skipping only literal zeros is lossless
                     if x != 0.0 {
-                        acc += Complex64::cis(base * ((k * n) % self.domain) as f64).scale(x);
+                        acc += self.twiddle[(k * n) % self.domain].scale(x);
                     }
                 }
                 *c = acc;

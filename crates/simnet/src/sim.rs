@@ -132,6 +132,10 @@ pub struct Simulation<N: SimNode> {
     next_seq: u64,
     metrics: NetMetrics,
     events_processed: u64,
+    /// Effect buffers handed to [`Ctx`] each event and drained afterwards,
+    /// persisted here so the steady-state event loop allocates nothing.
+    outgoing_scratch: Vec<(NodeId, <N as SimNode>::Msg, usize)>,
+    timers_scratch: Vec<(SimDuration, u64)>,
 }
 
 impl<N: SimNode> Simulation<N> {
@@ -158,6 +162,8 @@ impl<N: SimNode> Simulation<N> {
             next_seq: 0,
             metrics: NetMetrics::new(),
             events_processed: 0,
+            outgoing_scratch: Vec::new(),
+            timers_scratch: Vec::new(),
         }
     }
 
@@ -264,8 +270,9 @@ impl<N: SimNode> Simulation<N> {
         if matches!(ev.kind, EventKind::Deliver { .. }) {
             self.metrics.record_delivery();
         }
-        let mut outgoing: Vec<(NodeId, N::Msg, usize)> = Vec::new();
-        let mut timers: Vec<(SimDuration, u64)> = Vec::new();
+        let mut outgoing = std::mem::take(&mut self.outgoing_scratch);
+        let mut timers = std::mem::take(&mut self.timers_scratch);
+        debug_assert!(outgoing.is_empty() && timers.is_empty());
         {
             let mut ctx = Ctx {
                 now: self.now,
@@ -283,7 +290,7 @@ impl<N: SimNode> Simulation<N> {
                 EventKind::Timer { tag } => node.on_timer(tag, &mut ctx),
             }
         }
-        for (to, msg, bytes) in outgoing {
+        for (to, msg, bytes) in outgoing.drain(..) {
             let idx = self.link_index(ev.target, to);
             let link_cfg = *self.overrides.get(&(ev.target, to)).unwrap_or(&self.cfg);
             let deliver_at = self.links[idx].schedule(self.now, bytes, &link_cfg, &mut self.rng);
@@ -307,7 +314,7 @@ impl<N: SimNode> Simulation<N> {
                 },
             });
         }
-        for (delay, tag) in timers {
+        for (delay, tag) in timers.drain(..) {
             let seq = self.bump_seq();
             self.queue.push(Event {
                 time: self.now + delay,
@@ -316,6 +323,8 @@ impl<N: SimNode> Simulation<N> {
                 kind: EventKind::Timer { tag },
             });
         }
+        self.outgoing_scratch = outgoing;
+        self.timers_scratch = timers;
         true
     }
 

@@ -57,6 +57,12 @@ pub struct SlidingWindow {
     counts: BTreeMap<u32, VecDeque<u64>>,
     inserted: u64,
     evicted: u64,
+    /// Tuples evicted by the most recent `insert`, reused across calls so
+    /// the steady-state insert path allocates nothing.
+    evict_buf: Vec<Tuple>,
+    /// Join keys of `evict_buf`, in the same (oldest-first) order — what
+    /// the routing layer's summary maintenance consumes.
+    evict_keys: Vec<u32>,
 }
 
 impl SlidingWindow {
@@ -68,6 +74,8 @@ impl SlidingWindow {
             counts: BTreeMap::new(),
             inserted: 0,
             evicted: 0,
+            evict_buf: Vec::new(),
+            evict_keys: Vec::new(),
         }
     }
 
@@ -133,7 +141,11 @@ impl SlidingWindow {
     /// Inserts a tuple observed at `now` (a timestamp for time windows;
     /// ignored by count and landmark windows) and returns any evicted
     /// tuples, oldest first.
-    pub fn insert(&mut self, tuple: Tuple, now: u64) -> Vec<Tuple> {
+    ///
+    /// The returned slice borrows an internal buffer that is overwritten
+    /// by the next `insert`; [`SlidingWindow::evicted_keys`] exposes the
+    /// same eviction batch as bare join keys.
+    pub fn insert(&mut self, tuple: Tuple, now: u64) -> &[Tuple] {
         if let Some(last) = self.buf.back() {
             debug_assert!(
                 last.0.seq < tuple.seq,
@@ -146,12 +158,14 @@ impl SlidingWindow {
             .or_default()
             .push_back(tuple.seq);
         self.inserted += 1;
-        let mut out = Vec::new();
-        match self.spec() {
+        self.evict_buf.clear();
+        self.evict_keys.clear();
+        match self.spec {
             WindowSpec::Count(n) => {
                 while self.buf.len() > n {
                     let Some(t) = self.pop_oldest() else { break };
-                    out.push(t);
+                    self.evict_buf.push(t);
+                    self.evict_keys.push(t.key);
                 }
             }
             WindowSpec::Time(span) => {
@@ -161,12 +175,20 @@ impl SlidingWindow {
                     .is_some_and(|&(_, ts)| now.saturating_sub(ts) > span)
                 {
                     let Some(t) = self.pop_oldest() else { break };
-                    out.push(t);
+                    self.evict_buf.push(t);
+                    self.evict_keys.push(t.key);
                 }
             }
             WindowSpec::Landmark => {}
         }
-        out
+        &self.evict_buf
+    }
+
+    /// Join keys of the tuples evicted by the most recent
+    /// [`SlidingWindow::insert`], oldest first.
+    #[inline]
+    pub fn evicted_keys(&self) -> &[u32] {
+        &self.evict_keys
     }
 
     /// Clears the window (landmark reset). Returns the evicted tuples.

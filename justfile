@@ -39,6 +39,17 @@ repro-smoke:
     diff /tmp/dsjoin_out_j1.txt /tmp/dsjoin_out_j4.txt
     test "$(wc -l < /tmp/dsjoin_metrics_j4.jsonl)" -eq 2
 
+# Full hot-path throughput suite (micro ns/op + macro tuples/sec for every
+# strategy at N ∈ {4, 16}); records the trajectory in BENCH_pr3.json.
+bench:
+    cargo build --release -p dsj-bench --bin dsj-bench
+    ./target/release/dsj-bench --out BENCH_pr3.json
+
+# CI-sized bench run — fewer iterations, same record schema.
+bench-quick:
+    cargo build --release -p dsj-bench --bin dsj-bench
+    ./target/release/dsj-bench --quick --out BENCH_ci.json
+
 # Regenerate the recorded full-scale reproduction outputs.
 repro-record:
     cargo build --release -p dsj-bench --bin repro
