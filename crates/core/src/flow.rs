@@ -100,6 +100,7 @@ pub struct FlowScratch {
 /// place (cleared first) and returns whether a distribution exists. The
 /// float operations run in exactly the order of the allocating wrapper,
 /// so results are bit-identical.
+// dsj-lint: hot-path
 pub fn forwarding_probabilities_into(
     rhos: &[Option<f64>],
     target: f64,
@@ -225,6 +226,7 @@ pub fn sample_recipients(probs: &[f64], rng: &mut StdRng) -> Vec<usize> {
 /// Allocation-free [`sample_recipients`]: clears and fills `out`. The
 /// one-draw-per-peer contract is identical, so both variants consume the
 /// same RNG stream.
+// dsj-lint: hot-path
 pub fn sample_recipients_into(probs: &[f64], rng: &mut StdRng, out: &mut Vec<usize>) {
     out.clear();
     for (j, &p) in probs.iter().enumerate() {
@@ -265,6 +267,7 @@ impl RoundRobin {
     /// # Panics
     ///
     /// Panics if `n < 2` or `me >= n`.
+    // dsj-lint: hot-path
     pub fn pick_into(&mut self, me: u16, n: u16, count: usize, out: &mut Vec<u16>) {
         assert!(n >= 2, "need at least two nodes");
         assert!(me < n, "node id out of range");

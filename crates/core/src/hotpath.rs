@@ -10,9 +10,10 @@
 //! exposes exactly the operations the per-tuple path performs.
 //!
 //! [`RouterHarness::route`] runs the optimized production path;
-//! [`RouterHarness::route_reference`] runs a retained copy of the
-//! pre-optimization implementation so equivalence (same peers, same
-//! fallback flag, same RNG draw counts) stays checkable forever.
+//! `RouterHarness::route_reference` (behind the `reference` feature)
+//! runs a retained copy of the pre-optimization implementation so
+//! equivalence (same peers, same fallback flag, same RNG draw counts)
+//! stays checkable forever.
 
 use crate::flow::FlowParams;
 use crate::strategy::{Algorithm, Route, Router, RouterConfig};
@@ -128,6 +129,7 @@ impl RouterHarness {
     /// implementation. Consumes RNG draws exactly as [`Self::route`] does,
     /// so two identically-seeded harnesses — one routed, one
     /// reference-routed — must stay in lockstep forever.
+    #[cfg(any(test, feature = "reference"))]
     pub fn route_reference(&mut self, stream: StreamId, key: u32) -> (Vec<u16>, bool) {
         let route = self.router.route_reference(stream, key, 1.0, &mut self.rng);
         (route.peers, route.fallback)

@@ -31,6 +31,7 @@ impl BaseRouter {
     }
 
     /// Allocation-free broadcast: refills `out` with every peer.
+    // dsj-lint: hot-path
     pub fn route_into(&self, out: &mut Route) {
         out.peers.clear();
         out.peers.extend(peers_of(self.me, self.n));

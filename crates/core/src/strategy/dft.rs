@@ -22,9 +22,10 @@
 
 use super::{peers_of, Route, RouterConfig, SyncState};
 use crate::flow::{
-    detect_uniform, forwarding_probabilities, forwarding_probabilities_into, sample_recipients,
-    sample_recipients_into, FlowScratch, RoundRobin,
+    detect_uniform, forwarding_probabilities_into, sample_recipients_into, FlowScratch, RoundRobin,
 };
+#[cfg(any(test, feature = "reference"))]
+use crate::flow::{forwarding_probabilities, sample_recipients};
 use crate::msg::{CoeffUpdate, SummaryPayload};
 use dsj_dft::sliding::PointDft;
 use dsj_dft::spectrum::cross_correlation_coefficient;
@@ -204,9 +205,10 @@ impl DftRouter {
 
     /// Allocation-free routing: clears and fills `out` using the router's
     /// persistent scratch buffers. Behaviorally identical to
-    /// [`DftRouter::route_reference`] — same float operations, same RNG
+    /// `DftRouter::route_reference` — same float operations, same RNG
     /// draws, same routes — which the determinism suite asserts on seeded
     /// streams.
+    // dsj-lint: hot-path
     pub fn route_into(
         &mut self,
         stream: StreamId,
@@ -266,6 +268,9 @@ impl DftRouter {
                 }
             }
             if !self.candidates.is_empty() {
+                // Stable sort on purpose: equal-score tie order must match
+                // route_reference's stable sort for the lockstep suite.
+                // dsj-lint: allow(hot-path-opaque-call) — std stable sort may allocate a merge buffer; kept for tie-order parity with route_reference
                 self.candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
                 let take = (target.ceil() as usize).max(1);
                 for idx in 0..take.min(self.candidates.len()) {
@@ -352,6 +357,7 @@ impl DftRouter {
     /// the determinism suite can prove [`DftRouter::route_into`] never
     /// diverges from it (same peers, same fallback flag, same RNG draw
     /// counts) on seeded streams.
+    #[cfg(any(test, feature = "reference"))]
     pub fn route_reference(
         &mut self,
         stream: StreamId,
@@ -427,6 +433,7 @@ impl DftRouter {
         }
     }
 
+    #[cfg(any(test, feature = "reference"))]
     fn fallback(&mut self, target: f64) -> Route {
         let mut out = Route::default();
         self.fallback_into(target, &mut out);

@@ -214,17 +214,22 @@ impl Router {
     /// attribute `key`. `scale` multiplies the configured message-complexity
     /// target (the throughput governor's resource-availability dial;
     /// `1.0` = nominal budget).
+    ///
+    /// Allocating convenience retained for tests and the determinism
+    /// suite; production goes through `Router::route_into`.
+    #[cfg(any(test, feature = "reference"))]
     pub fn route(&mut self, stream: StreamId, key: u32, scale: f64, rng: &mut StdRng) -> Route {
         let mut out = Route::default();
         self.route_into(stream, key, scale, rng, &mut out);
         out
     }
 
-    /// Allocation-free variant of [`Router::route`]: clears and refills
+    /// Allocation-free variant of `Router::route`: clears and refills
     /// `out`, reusing its `peers` capacity across tuples. BASE and the
     /// DFT family are fully scratch-based; BLOOM/SKCH still build their
     /// route internally (their per-tuple cost is dominated by hashing,
     /// not allocation) and move it into `out`.
+    // dsj-lint: hot-path
     pub fn route_into(
         &mut self,
         stream: StreamId,
@@ -236,15 +241,18 @@ impl Router {
         match self {
             Router::Base(r) => r.route_into(out),
             Router::Dft(r) => r.route_into(stream, key, scale, rng, out),
+            // dsj-lint: allow(hot-path-opaque-call) — BLOOM builds its route internally; per-tuple cost is hashing-dominated, not allocation
             Router::Bloom(r) => *out = r.route(stream, key, scale, rng),
+            // dsj-lint: allow(hot-path-opaque-call) — SKCH builds its route internally; per-tuple cost is hashing-dominated, not allocation
             Router::Sketch(r) => *out = r.route(stream, key, scale, rng),
         }
     }
 
     /// The pre-optimization routing implementation, retained so the
     /// determinism suite can prove the scratch-based path never diverges
-    /// from it. Identical to [`Router::route`] for strategies that were
+    /// from it. Identical to `Router::route` for strategies that were
     /// not rewritten.
+    #[cfg(any(test, feature = "reference"))]
     pub fn route_reference(
         &mut self,
         stream: StreamId,

@@ -120,6 +120,7 @@ impl SlidingDft {
 
     /// Pushes a sample, evicting the oldest once the window is full.
     /// Returns the evicted sample, if any.
+    // dsj-lint: hot-path
     pub fn push(&mut self, x: f64) -> Option<f64> {
         let old = self.window[self.pos];
         let evicted = if self.is_full() { Some(old) } else { None };
@@ -135,6 +136,7 @@ impl SlidingDft {
         self.total_updates += 1;
         self.updates_since_recompute += 1;
         if self.control.should_recompute(self.updates_since_recompute) {
+            // dsj-lint: allow(hot-path-opaque-call) — exact recompute (FFT scratch) allocates by design; amortized over the drift-control interval
             self.recompute();
         }
         evicted
@@ -290,6 +292,7 @@ impl PointDft {
     /// # Panics
     ///
     /// Panics if `index >= domain`.
+    // dsj-lint: hot-path
     pub fn add(&mut self, index: usize, delta: f64) {
         assert!(index < self.domain, "index out of domain");
         self.values[index] += delta;
@@ -300,6 +303,7 @@ impl PointDft {
         self.total_updates += 1;
         self.updates_since_recompute += 1;
         if self.control.should_recompute(self.updates_since_recompute) {
+            // dsj-lint: allow(hot-path-opaque-call) — exact recompute (FFT scratch) allocates by design; amortized over the drift-control interval
             self.recompute();
         }
     }

@@ -1,0 +1,10 @@
+// Fixture: a hot-path root that allocates directly.
+
+// dsj-lint: hot-path
+pub fn root_direct(n: usize) -> usize {
+    let mut xs = Vec::new();
+    for i in 0..n {
+        xs.push(i);
+    }
+    xs.len()
+}

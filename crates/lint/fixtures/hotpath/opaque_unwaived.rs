@@ -1,0 +1,8 @@
+// Fixture: a hot-path root calling a function the resolver cannot see —
+// without a waiver the conservative `hot-path-opaque-call` finding is a
+// violation.
+
+// dsj-lint: hot-path
+pub fn root_opaque(x: u32) -> u32 {
+    mystery_scramble(x)
+}

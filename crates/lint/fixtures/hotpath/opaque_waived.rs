@@ -1,0 +1,8 @@
+// Fixture: the sanctioned escape hatch — an unresolvable call inside a
+// hot-path root, waived (and thereby documented) in place.
+
+// dsj-lint: hot-path
+pub fn root_waived(x: u32) -> u32 {
+    // dsj-lint: allow(hot-path-opaque-call) — fixture demonstrating a documented opaque call
+    mystery_scramble_waived(x)
+}

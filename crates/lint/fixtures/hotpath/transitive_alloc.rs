@@ -1,0 +1,16 @@
+// Fixture: a hot-path root that allocates only transitively, through a
+// helper two calls deep — the call-graph pass must follow both edges.
+
+// dsj-lint: hot-path
+pub fn root_transitive(n: usize) -> usize {
+    helper_one(n)
+}
+
+fn helper_one(n: usize) -> usize {
+    helper_two(n)
+}
+
+fn helper_two(n: usize) -> usize {
+    let s = String::from("deep allocation");
+    s.len() + n
+}

@@ -1,0 +1,12 @@
+// Fixture: a hot-path root that reads a wall clock transitively — the
+// nondeterminism sits in a callee.
+
+// dsj-lint: hot-path
+pub fn root_nondet(key: u64) -> u64 {
+    jitter(key)
+}
+
+fn jitter(key: u64) -> u64 {
+    let _t = Instant::now();
+    key
+}

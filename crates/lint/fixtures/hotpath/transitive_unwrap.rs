@@ -1,0 +1,11 @@
+// Fixture: a hot-path root that can panic only transitively — the
+// `unwrap()` sits in a callee, not in the root itself.
+
+// dsj-lint: hot-path
+pub fn root_panicky(x: Option<u32>) -> u32 {
+    step(x)
+}
+
+fn step(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

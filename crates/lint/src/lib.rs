@@ -1,25 +1,39 @@
 //! `dsj-lint` — repo-specific static analysis for the dsjoin workspace.
 //!
-//! A dependency-free, token-level linter enforcing the invariants the
-//! reproduction's claims rest on:
+//! A dependency-free linter enforcing the invariants the reproduction's
+//! claims rest on:
 //!
 //! - **determinism** — no `HashMap`/`HashSet` in deterministic paths, no
 //!   wall clocks outside the timing allowlist, no unseeded RNGs;
 //! - **panic-safety** — no `unwrap()`/`expect()`/`panic!`/`todo!` in
 //!   library code (tests, benches, examples exempt);
 //! - **hygiene** — every crate root carries `#![forbid(unsafe_code)]` and
-//!   `#![warn(missing_docs)]`; float `==`/`!=` comparisons are banned.
+//!   `#![warn(missing_docs)]`; float `==`/`!=` comparisons are banned;
+//! - **hot-path discipline** — a call-graph pass ([`callgraph`]) proves
+//!   the per-tuple path (window insert → incremental DFT → route →
+//!   fan-out) stays allocation-free, panic-free and deterministic,
+//!   *transitively*: functions marked `// dsj-lint: hot-path` (plus the
+//!   configured [`callgraph::HOT_PATH_ROOTS`]) are roots, every workspace
+//!   function reachable from them is scanned, and calls the resolver
+//!   cannot follow surface as `hot-path-opaque-call` findings.
 //!
 //! Findings can be waived in place with
 //! `// dsj-lint: allow(<rule>) — <reason>`; the waiver covers the pragma's
-//! own line and the next line, and every waiver is counted and reported.
+//! own line and the next line, and every waiver is counted and reported
+//! (a pragma that waives nothing is itself a violation). On a resolvable
+//! call, `allow(hot-path-opaque-call)` also cuts the call edge — the
+//! sanctioned way to mark a deliberate cold-path escape.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lex;
+pub mod parse;
+pub mod report;
 pub mod rules;
 
+pub use report::{finding_id, render_json, render_waivers};
 pub use rules::{classify_fixture, classify_workspace, lint_source, Finding, Rule, RULES};
 
 use std::fs;
@@ -32,10 +46,39 @@ const SKIP_DIRS: [&str; 4] = ["vendor", "target", "fixtures", ".git"];
 /// Whether to apply workspace path rules or arm every rule (fixtures).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
-    /// Path-sensitive classification for the dsjoin workspace.
+    /// Path-sensitive classification for the dsjoin workspace; the
+    /// configured hot-path roots are required to resolve.
     Workspace,
-    /// Every rule live on every file (self-test fixtures).
+    /// Every rule live on every file (self-test fixtures); only
+    /// marker-derived hot-path roots are analyzed.
     Fixture,
+}
+
+/// One waiver pragma with its audited hit count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverRecord {
+    /// Workspace-relative path of the file holding the pragma.
+    pub file: String,
+    /// 1-based line the pragma sits on.
+    pub line: u32,
+    /// The rule it waives.
+    pub rule: Rule,
+    /// The justification text.
+    pub reason: String,
+    /// How many findings it waived (zero ⇒ stale ⇒ a `pragma` violation).
+    pub hits: usize,
+}
+
+/// The full result of linting a tree: every finding (waived ones
+/// included) plus the waiver audit.
+#[derive(Debug)]
+pub struct Report {
+    /// The mode the tree was linted under.
+    pub mode: Mode,
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Every waiver pragma in the tree, sorted by (file, line).
+    pub waivers: Vec<WaiverRecord>,
 }
 
 /// Recursively collects `.rs` files under `root`, skipping `vendor/`,
@@ -63,10 +106,21 @@ pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lints every `.rs` file under `root` and returns all findings (waived
-/// ones included), sorted by file then line.
-pub fn lint_tree(root: &Path, mode: Mode) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+/// Per-file state carried between the scan, call-graph and waiver passes.
+struct FileState {
+    rel: String,
+    scan: lex::Scan,
+    items: parse::FileItems,
+    exempt: bool,
+    pragmas: Vec<rules::Pragma>,
+    findings: Vec<Finding>,
+}
+
+/// Lints every `.rs` file under `root` — token rules per file, then the
+/// cross-file hot-path pass, then waiver application and the stale-pragma
+/// audit — and returns the full [`Report`].
+pub fn lint_tree_report(root: &Path, mode: Mode) -> io::Result<Report> {
+    let mut states: Vec<FileState> = Vec::new();
     for path in collect_rs_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -78,9 +132,90 @@ pub fn lint_tree(root: &Path, mode: Mode) -> io::Result<Vec<Finding>> {
             Mode::Workspace => classify_workspace(&rel),
             Mode::Fixture => classify_fixture(&rel),
         };
-        findings.extend(lint_source(&rel, &source, class));
+        let scan = lex::scan(&source);
+        let items = parse::parse_items(&scan);
+        let (pragmas, pragma_errors) = rules::parse_pragmas(&rel, &scan.comments);
+        let mut findings = rules::token_findings(&rel, &scan, class);
+        findings.extend(pragma_errors);
+        for &line in &items.dangling_markers {
+            findings.push(Finding {
+                file: rel.clone(),
+                line,
+                rule: Rule::Pragma,
+                message: "hot-path marker attaches to no `fn` below it".to_string(),
+                waiver: None,
+            });
+        }
+        states.push(FileState {
+            rel,
+            scan,
+            items,
+            exempt: class.exempt_code,
+            pragmas,
+            findings,
+        });
     }
-    Ok(findings)
+
+    // Cross-file hot-path pass over the whole tree.
+    let inputs: Vec<callgraph::FileGraphInput<'_>> = states
+        .iter()
+        .map(|s| callgraph::FileGraphInput {
+            rel: &s.rel,
+            tokens: &s.scan.tokens,
+            items: &s.items,
+            exempt: s.exempt,
+            cut_lines: s
+                .pragmas
+                .iter()
+                .filter(|p| p.rule == Rule::HotPathOpaque)
+                .map(|p| p.line)
+                .collect(),
+        })
+        .collect();
+    let hot = callgraph::analyze(&inputs, mode == Mode::Workspace);
+    drop(inputs);
+    let mut unattached: Vec<Finding> = Vec::new();
+    for f in hot {
+        match states.iter_mut().find(|s| s.rel == f.file) {
+            Some(s) => s.findings.push(f),
+            None => unattached.push(f),
+        }
+    }
+
+    // Waiver application + audit, per file.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut waivers: Vec<WaiverRecord> = Vec::new();
+    for s in &mut states {
+        let mut hits = vec![0usize; s.pragmas.len()];
+        rules::apply_waivers(&mut s.findings, &s.pragmas, &mut hits);
+        for (k, p) in s.pragmas.iter().enumerate() {
+            waivers.push(WaiverRecord {
+                file: s.rel.clone(),
+                line: p.line,
+                rule: p.rule,
+                reason: p.reason.clone(),
+                hits: hits[k],
+            });
+            if hits[k] == 0 {
+                s.findings.push(rules::stale_pragma_finding(&s.rel, p));
+            }
+        }
+        findings.append(&mut s.findings);
+    }
+    findings.append(&mut unattached);
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(Report {
+        mode,
+        findings,
+        waivers,
+    })
+}
+
+/// Lints every `.rs` file under `root` and returns all findings (waived
+/// ones included), sorted by file then line.
+pub fn lint_tree(root: &Path, mode: Mode) -> io::Result<Vec<Finding>> {
+    Ok(lint_tree_report(root, mode)?.findings)
 }
 
 /// Detects whether `root` is the dsjoin workspace (a `Cargo.toml` with a

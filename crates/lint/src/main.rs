@@ -4,33 +4,90 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dsj_lint::{is_workspace_root, lint_tree, Mode};
+use dsj_lint::{is_workspace_root, lint_tree_report, render_json, render_waivers, Mode, Report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dsj-lint [PATH]
+const USAGE: &str = "usage: dsj-lint [PATH] [--format human|json] [--waivers]
 
 Lints every .rs file under PATH (default: the enclosing workspace root).
-A PATH whose Cargo.toml declares [workspace] gets the workspace path rules;
-any other directory is linted in fixture mode (every rule armed).
+A PATH whose Cargo.toml declares [workspace] gets the workspace path rules
+(including the configured hot-path roots); any other directory is linted
+in fixture mode (every rule armed, marker-derived hot-path roots only).
+
+  --format human|json   output format (default: human). JSON output is
+                        byte-stable across runs and carries stable finding
+                        ids of the form <rule>@<file>:<line>.
+  --waivers             report-only waiver audit: list every
+                        `dsj-lint: allow(..)` pragma with its hit count,
+                        then exit 0.
 
 exit codes: 0 clean, 1 unwaived violations, 2 usage/IO error";
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+}
+
+struct Args {
+    path: Option<PathBuf>,
+    format: Format,
+    waivers_only: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        path: None,
+        format: Format::Human,
+        waivers_only: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--format" => {
+                parsed.format = match it.next().map(String::as_str) {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format expects `human` or `json`, got {}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                };
+            }
+            "--waivers" => parsed.waivers_only = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path if parsed.path.is_none() => parsed.path = Some(PathBuf::from(path)),
+            extra => return Err(format!("unexpected extra argument `{extra}`")),
+        }
+    }
+    Ok(parsed)
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let root = match args.as_slice() {
-        [] => match find_workspace_root() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("dsj-lint: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.path {
+        Some(p) => p,
+        None => match find_workspace_root() {
             Some(p) => p,
             None => {
                 eprintln!("dsj-lint: no enclosing workspace root found");
                 return ExitCode::from(2);
             }
         },
-        [p] if p != "-h" && p != "--help" => PathBuf::from(p),
-        _ => {
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
-        }
     };
     if !root.is_dir() {
         eprintln!("dsj-lint: {} is not a directory", root.display());
@@ -41,17 +98,41 @@ fn main() -> ExitCode {
     } else {
         Mode::Fixture
     };
-    let findings = match lint_tree(&root, mode) {
-        Ok(f) => f,
+    let report = match lint_tree_report(&root, mode) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("dsj-lint: io error walking {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
 
-    let violations: Vec<_> = findings.iter().filter(|f| f.is_violation()).collect();
-    let waived: Vec<_> = findings.iter().filter(|f| !f.is_violation()).collect();
+    if args.waivers_only {
+        print!("{}", render_waivers(&report));
+        return ExitCode::SUCCESS;
+    }
+    match args.format {
+        Format::Json => print!("{}", render_json(&report)),
+        Format::Human => print_human(&report),
+    }
+    let violations = report.findings.iter().filter(|f| f.is_violation()).count();
+    if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
 
+fn print_human(report: &Report) {
+    let violations: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.is_violation())
+        .collect();
+    let waived: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| !f.is_violation())
+        .collect();
     for f in &violations {
         println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
     }
@@ -67,20 +148,12 @@ fn main() -> ExitCode {
             );
         }
     }
-    let mode_name = match mode {
-        Mode::Workspace => "workspace",
-        Mode::Fixture => "fixture",
-    };
     println!(
-        "dsj-lint ({mode_name}): {} violation(s), {} waiver(s)",
+        "dsj-lint ({}): {} violation(s), {} waiver(s)",
+        report.mode.name(),
         violations.len(),
         waived.len()
     );
-    if violations.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
-    }
 }
 
 /// Walks up from the current directory to the first `[workspace]` manifest.

@@ -1,0 +1,204 @@
+//! Machine-readable (JSON) and audit renderings of a lint [`Report`].
+//!
+//! The JSON writer is hand-rolled (the lint crate is dependency-free by
+//! design) and **byte-stable**: findings and waivers arrive pre-sorted
+//! from [`crate::lint_tree_report`], keys are emitted in a fixed order,
+//! and nothing run-dependent (timestamps, absolute paths, hash order)
+//! enters the output — two runs over the same tree produce identical
+//! bytes, so CI can archive and diff reports.
+
+use crate::rules::Finding;
+use crate::{Mode, Report};
+use std::fmt::Write as _;
+
+/// A finding's stable identity: `<rule>@<file>:<line>`. Stable across
+/// runs and across unrelated edits; changes only when the finding moves.
+pub fn finding_id(f: &Finding) -> String {
+    format!("{}@{}:{}", f.rule, f.file, f.line)
+}
+
+/// Renders the full report as deterministic, pretty-printed JSON.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"mode\": \"{}\",", report.mode.name());
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"id\": \"{}\",", esc(&finding_id(f)));
+        let _ = writeln!(out, "      \"rule\": \"{}\",", f.rule);
+        let _ = writeln!(out, "      \"file\": \"{}\",", esc(&f.file));
+        let _ = writeln!(out, "      \"line\": {},", f.line);
+        let _ = writeln!(out, "      \"waived\": {},", !f.is_violation());
+        match &f.waiver {
+            Some(reason) => {
+                let _ = writeln!(out, "      \"waiver\": \"{}\",", esc(reason));
+            }
+            None => out.push_str("      \"waiver\": null,\n"),
+        }
+        let _ = writeln!(out, "      \"message\": \"{}\"", esc(&f.message));
+        out.push_str("    }");
+    }
+    out.push_str(if report.findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"waivers\": [");
+    for (i, w) in report.waivers.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"file\": \"{}\",", esc(&w.file));
+        let _ = writeln!(out, "      \"line\": {},", w.line);
+        let _ = writeln!(out, "      \"rule\": \"{}\",", w.rule);
+        let _ = writeln!(out, "      \"hits\": {},", w.hits);
+        let _ = writeln!(out, "      \"reason\": \"{}\"", esc(&w.reason));
+        out.push_str("    }");
+    }
+    out.push_str(if report.waivers.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    let violations = report.findings.iter().filter(|f| f.is_violation()).count();
+    let waived = report.findings.len() - violations;
+    out.push_str("  \"summary\": {\n");
+    let _ = writeln!(out, "    \"violations\": {violations},");
+    let _ = writeln!(out, "    \"waived_findings\": {waived},");
+    let _ = writeln!(out, "    \"waiver_pragmas\": {}", report.waivers.len());
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Renders the report-only waiver audit: every `allow(..)` pragma in the
+/// tree with its rule and hit count (zero hits means the pragma is stale
+/// and is separately reported as a `pragma` violation).
+pub fn render_waivers(report: &Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "waiver audit ({}): {} pragma(s)",
+        report.mode.name(),
+        report.waivers.len()
+    );
+    for w in &report.waivers {
+        let _ = writeln!(
+            out,
+            "  {}:{}: [{}] {} hit(s) — {}",
+            w.file, w.line, w.rule, w.hits, w.reason
+        );
+    }
+    let stale = report.waivers.iter().filter(|w| w.hits == 0).count();
+    if stale > 0 {
+        let _ = writeln!(out, "  {stale} stale pragma(s) — these fail the lint");
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The mode tag used in reports.
+impl Mode {
+    /// `"workspace"` or `"fixture"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Workspace => "workspace",
+            Mode::Fixture => "fixture",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+    use crate::WaiverRecord;
+
+    fn demo_report() -> Report {
+        Report {
+            mode: Mode::Fixture,
+            findings: vec![
+                Finding {
+                    file: "a.rs".to_string(),
+                    line: 3,
+                    rule: Rule::HotPathAlloc,
+                    message: "say \"hi\"\\".to_string(),
+                    waiver: None,
+                },
+                Finding {
+                    file: "a.rs".to_string(),
+                    line: 9,
+                    rule: Rule::HotPathOpaque,
+                    message: "cut".to_string(),
+                    waiver: Some("why".to_string()),
+                },
+            ],
+            waivers: vec![WaiverRecord {
+                file: "a.rs".to_string(),
+                line: 9,
+                rule: Rule::HotPathOpaque,
+                reason: "why".to_string(),
+                hits: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn finding_ids_are_rule_file_line() {
+        let r = demo_report();
+        assert_eq!(finding_id(&r.findings[0]), "hot-path-alloc@a.rs:3");
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let r = demo_report();
+        let a = render_json(&r);
+        let b = render_json(&r);
+        assert_eq!(a, b);
+        assert!(a.contains("\"id\": \"hot-path-alloc@a.rs:3\""), "{a}");
+        assert!(a.contains("say \\\"hi\\\"\\\\"), "{a}");
+        assert!(a.contains("\"waived\": true"), "{a}");
+        assert!(a.contains("\"violations\": 1"), "{a}");
+        assert!(a.ends_with("}\n"), "{a}");
+    }
+
+    #[test]
+    fn empty_report_renders_empty_arrays() {
+        let r = Report {
+            mode: Mode::Workspace,
+            findings: Vec::new(),
+            waivers: Vec::new(),
+        };
+        let json = render_json(&r);
+        assert!(json.contains("\"findings\": [],"), "{json}");
+        assert!(json.contains("\"waivers\": [],"), "{json}");
+    }
+
+    #[test]
+    fn waiver_audit_lists_hits() {
+        let out = render_waivers(&demo_report());
+        assert!(
+            out.contains("a.rs:9: [hot-path-opaque-call] 1 hit(s) — why"),
+            "{out}"
+        );
+        assert!(!out.contains("stale"), "{out}");
+    }
+}

@@ -23,19 +23,34 @@ pub enum Rule {
     /// A crate root missing `#![forbid(unsafe_code)]` or
     /// `#![warn(missing_docs)]`.
     CrateAttrs,
+    /// A heap allocation reachable from a hot-path root (call-graph pass).
+    HotPathAlloc,
+    /// A panic construct reachable from a hot-path root, transitively.
+    HotPathPanic,
+    /// A nondeterminism source (unseeded RNG, `HashMap` iteration, wall
+    /// clock) reachable from a hot-path root.
+    HotPathNondet,
+    /// A call the hot-path resolver cannot follow (trait object, closure,
+    /// unknown std method) — or a resolvable call deliberately cut from
+    /// traversal by a waiver pragma.
+    HotPathOpaque,
     /// A malformed or unused `dsj-lint: allow(..)` pragma. Cannot itself
     /// be waived.
     Pragma,
 }
 
 /// All waivable rules, in reporting order.
-pub const RULES: [Rule; 6] = [
+pub const RULES: [Rule; 10] = [
     Rule::Panic,
     Rule::HashIter,
     Rule::WallClock,
     Rule::UnseededRng,
     Rule::FloatEq,
     Rule::CrateAttrs,
+    Rule::HotPathAlloc,
+    Rule::HotPathPanic,
+    Rule::HotPathNondet,
+    Rule::HotPathOpaque,
 ];
 
 impl Rule {
@@ -48,6 +63,10 @@ impl Rule {
             Rule::UnseededRng => "unseeded-rng",
             Rule::FloatEq => "float-eq",
             Rule::CrateAttrs => "crate-attrs",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::HotPathPanic => "hot-path-panic",
+            Rule::HotPathNondet => "hot-path-nondet",
+            Rule::HotPathOpaque => "hot-path-opaque-call",
             Rule::Pragma => "pragma",
         }
     }
@@ -55,6 +74,16 @@ impl Rule {
     /// Parses a rule id (the name inside `allow(..)`).
     pub fn parse(id: &str) -> Option<Rule> {
         RULES.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// `true` for the transitive hot-path rule family, which only the
+    /// whole-tree pass ([`crate::lint_tree`]) can produce — single-file
+    /// linting never treats their pragmas as stale.
+    pub fn is_hot_path(self) -> bool {
+        matches!(
+            self,
+            Rule::HotPathAlloc | Rule::HotPathPanic | Rule::HotPathNondet | Rule::HotPathOpaque
+        )
     }
 }
 
@@ -147,18 +176,41 @@ pub fn classify_fixture(relpath: &str) -> FileClass {
 
 /// A parsed `// dsj-lint: allow(<rule>) — <reason>` pragma.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Pragma {
-    line: u32,
-    rule: Rule,
-    reason: String,
+pub struct Pragma {
+    /// 1-based line the pragma sits on (it also covers the next line).
+    pub line: u32,
+    /// The rule this pragma waives.
+    pub rule: Rule,
+    /// The mandatory justification after the `)`.
+    pub reason: String,
 }
 
 /// Lints one file's source. `relpath` is used for reporting and for the
 /// path-sensitive rules via `class`.
+///
+/// This is the single-file view: the transitive hot-path rules need the
+/// whole tree and only fire from [`crate::lint_tree`], so hot-path
+/// pragmas are never reported stale here.
 pub fn lint_source(relpath: &str, source: &str, class: FileClass) -> Vec<Finding> {
     let scan = lex::scan(source);
-    let mut findings = Vec::new();
+    let mut findings = token_findings(relpath, &scan, class);
     let (pragmas, mut pragma_findings) = parse_pragmas(relpath, &scan.comments);
+    let mut hits = vec![0usize; pragmas.len()];
+    apply_waivers(&mut findings, &pragmas, &mut hits);
+    for (k, p) in pragmas.iter().enumerate() {
+        if hits[k] == 0 && !p.rule.is_hot_path() {
+            pragma_findings.push(stale_pragma_finding(relpath, p));
+        }
+    }
+    findings.append(&mut pragma_findings);
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// The token-level rule passes over one scanned file — no pragma handling,
+/// no waiver application.
+pub fn token_findings(relpath: &str, scan: &lex::Scan, class: FileClass) -> Vec<Finding> {
+    let mut findings = Vec::new();
     let test_regions = test_regions(&scan.tokens);
     let in_test = |line: u32| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
 
@@ -299,47 +351,53 @@ pub fn lint_source(relpath: &str, source: &str, class: FileClass) -> Vec<Finding
         }
     }
 
-    // Apply waivers: a pragma covers findings of its rule on its own line
-    // and on the next line (so it can sit at the end of the offending line
-    // or on its own line just above).
-    let mut used = vec![false; pragmas.len()];
-    for f in &mut findings {
+    findings
+}
+
+/// Applies waivers in place: a pragma covers findings of its rule on its
+/// own line and on the next line (so it can sit at the end of the
+/// offending line or on its own line just above). `hits[k]` counts how
+/// many findings pragma `k` waived — zero means the pragma is stale.
+pub fn apply_waivers(findings: &mut [Finding], pragmas: &[Pragma], hits: &mut [usize]) {
+    for f in findings {
         if let Some((k, p)) = pragmas
             .iter()
             .enumerate()
             .find(|(_, p)| p.rule == f.rule && (p.line == f.line || p.line + 1 == f.line))
         {
             f.waiver = Some(p.reason.clone());
-            used[k] = true;
+            hits[k] += 1;
         }
     }
-    for (k, p) in pragmas.iter().enumerate() {
-        if !used[k] {
-            pragma_findings.push(Finding {
-                file: relpath.to_string(),
-                line: p.line,
-                rule: Rule::Pragma,
-                message: format!(
-                    "stale pragma: `allow({})` waives nothing on this or the next line",
-                    p.rule
-                ),
-                waiver: None,
-            });
-        }
+}
+
+/// The finding reported for a pragma that waived nothing.
+pub fn stale_pragma_finding(relpath: &str, p: &Pragma) -> Finding {
+    Finding {
+        file: relpath.to_string(),
+        line: p.line,
+        rule: Rule::Pragma,
+        message: format!(
+            "stale pragma: `allow({})` waives nothing on this or the next line",
+            p.rule
+        ),
+        waiver: None,
     }
-    findings.append(&mut pragma_findings);
-    findings.sort_by_key(|f| (f.line, f.rule));
-    findings
 }
 
 /// Extracts well-formed pragmas and reports malformed ones as findings.
-fn parse_pragmas(relpath: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>) {
+/// `// dsj-lint: hot-path` markers are a separate mechanism (handled by
+/// [`crate::parse`]) and pass through silently.
+pub fn parse_pragmas(relpath: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>) {
     let mut pragmas = Vec::new();
     let mut findings = Vec::new();
     for c in comments {
         let Some(rest) = c.text.trim_start().strip_prefix("dsj-lint:") else {
             continue;
         };
+        if rest.trim() == crate::parse::HOT_MARKER {
+            continue;
+        }
         let bad = |msg: &str| Finding {
             file: relpath.to_string(),
             line: c.line,
@@ -635,6 +693,21 @@ mod tests {
         let f = lint_lib("fn f() {} // dsj-lint: allow(panic) — nothing here");
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, Rule::Pragma);
+    }
+
+    #[test]
+    fn hot_path_marker_is_not_a_malformed_pragma() {
+        assert!(lint_lib("// dsj-lint: hot-path\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn hot_path_pragmas_are_never_stale_in_single_file_mode() {
+        // The hot-path rules only fire from the whole-tree pass, so a
+        // single-file lint must not flag their pragmas as stale...
+        let src = "fn f() {} // dsj-lint: allow(hot-path-opaque-call) — cut is tree-level";
+        assert!(lint_lib(src).is_empty());
+        // ...while classic-rule pragmas still go stale (pinned above in
+        // `bad_pragmas_are_findings`).
     }
 
     #[test]

@@ -145,6 +145,7 @@ impl SlidingWindow {
     /// The returned slice borrows an internal buffer that is overwritten
     /// by the next `insert`; [`SlidingWindow::evicted_keys`] exposes the
     /// same eviction batch as bare join keys.
+    // dsj-lint: hot-path
     pub fn insert(&mut self, tuple: Tuple, now: u64) -> &[Tuple] {
         if let Some(last) = self.buf.back() {
             debug_assert!(

@@ -11,9 +11,18 @@ fmt-check:
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Repo-specific static analysis (determinism, panic-safety, hygiene).
+# Repo-specific static analysis (determinism, panic-safety, hygiene,
+# transitive hot-path discipline).
 lint:
     cargo run --release -p dsj-lint
+
+# Same lint as a byte-stable JSON report (stable finding ids) on stdout.
+lint-json:
+    cargo run --release -p dsj-lint -- --format json
+
+# Report-only audit of every `dsj-lint: allow(..)` waiver and its hit count.
+lint-waivers:
+    cargo run --release -p dsj-lint -- --waivers
 
 # API docs must build without warnings.
 doc:
