@@ -324,7 +324,9 @@ pub fn bench_macro_simnet(algorithm: Algorithm, n: u16, tuples: usize) -> BenchR
     let arrivals = cfg.arrivals();
     let dt_us = cfg.interarrival_us();
     let start = Instant::now();
-    let nodes: Vec<_> = (0..n).map(|me| cfg.build_node(me)).collect();
+    let nodes: Vec<_> = (0..n)
+        .map(|me| dsj_core::NodeEngine::new(cfg.build_node(me)))
+        .collect();
     let mut sim = Simulation::new(nodes, cfg.link, cfg.seed ^ 0x51A1);
     for a in &arrivals {
         let t = SimTime::ZERO + SimDuration::from_micros(a.seq * dt_us);

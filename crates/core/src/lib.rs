@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod error;
 pub mod flow;
 pub mod hotpath;
@@ -57,10 +58,12 @@ pub mod report;
 pub mod runner;
 pub mod strategy;
 pub mod theory;
+pub mod wire;
 
+pub use engine::{NodeEngine, Transport, TransportEvent};
 pub use error::RunError;
 pub use flow::{FlowParams, TargetComplexity};
 pub use msg::{Msg, SummaryPayload};
 pub use node::{JoinNode, NodeMetrics, ThroughputGovernor};
-pub use runner::{ClusterConfig, ExperimentReport};
+pub use runner::{ClusterConfig, ExperimentReport, LockstepReport};
 pub use strategy::Algorithm;

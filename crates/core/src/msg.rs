@@ -56,12 +56,21 @@ pub enum SummaryPayload {
 }
 
 impl SummaryPayload {
-    /// Modeled wire size in bytes (content plus a 4-byte header).
+    /// Wire size in bytes — by invariant (pinned in `crate::wire`'s tests)
+    /// exactly the bytes `wire::encode` produces for this payload.
+    ///
+    /// Each variant pays a 1-byte kind/stream tag plus its parameters:
+    /// DFT ships `signal_len` and a coefficient count (4 + 4), Bloom ships
+    /// `(m, k, seed, items)` (4 + 4 + 8 + 8), sketches `(s0, s1, seed,
+    /// updates)` (4 + 4 + 8 + 8) — then the content itself. Earlier
+    /// revisions modeled a flat 4-byte header for all three, undercounting
+    /// every summary on the wire; the codec made the drift visible and
+    /// this model now matches it byte-for-byte.
     pub fn wire_bytes(&self) -> usize {
-        4 + match self {
-            SummaryPayload::Dft { updates, .. } => updates.len() * CoeffUpdate::WIRE_BYTES,
-            SummaryPayload::Bloom { filter, .. } => filter.size_bytes(),
-            SummaryPayload::Sketch { sketch, .. } => sketch.size_bytes(),
+        match self {
+            SummaryPayload::Dft { updates, .. } => 9 + updates.len() * CoeffUpdate::WIRE_BYTES,
+            SummaryPayload::Bloom { filter, .. } => 25 + filter.size_bytes(),
+            SummaryPayload::Sketch { sketch, .. } => 25 + sketch.size_bytes(),
         }
     }
 }
@@ -83,7 +92,14 @@ pub enum Msg {
 }
 
 impl Msg {
-    /// Modeled wire size in bytes.
+    /// Wire size in bytes — by invariant (pinned in `crate::wire`'s tests)
+    /// exactly `wire::encode(self).len()`.
+    ///
+    /// A tuple message is one [`Tuple::WIRE_BYTES`] frame (length prefix,
+    /// version/kind byte and tuple body) plus its self-delimiting piggyback
+    /// payloads. A standalone summary pays the same 5 framing bytes
+    /// (`wire::FRAME_OVERHEAD`) plus its payloads; earlier revisions
+    /// modeled summaries as frameless, undercounting each by 5.
     pub fn wire_bytes(&self) -> usize {
         match self {
             Msg::Tuple { piggyback, .. } => {
@@ -93,7 +109,7 @@ impl Msg {
                         .map(SummaryPayload::wire_bytes)
                         .sum::<usize>()
             }
-            Msg::Summary(ps) => ps.iter().map(SummaryPayload::wire_bytes).sum(),
+            Msg::Summary(ps) => 5 + ps.iter().map(SummaryPayload::wire_bytes).sum::<usize>(),
         }
     }
 
@@ -147,7 +163,7 @@ mod tests {
             }],
         };
         assert_eq!(m.data_bytes(), Tuple::WIRE_BYTES);
-        assert_eq!(m.overhead_bytes(), 4 + 3 * CoeffUpdate::WIRE_BYTES);
+        assert_eq!(m.overhead_bytes(), 9 + 3 * CoeffUpdate::WIRE_BYTES);
         assert_eq!(m.wire_bytes(), m.data_bytes() + m.overhead_bytes());
     }
 
@@ -158,7 +174,8 @@ mod tests {
             signal_len: 64,
             updates: coeffs(10),
         }]);
-        assert_eq!(dft.wire_bytes(), 4 + 180);
+        // 5 frame bytes + the payload's 9-byte header + 10 coefficients.
+        assert_eq!(dft.wire_bytes(), 5 + 9 + 180);
         assert_eq!(dft.data_bytes(), 0);
 
         let filter = CountingBloomFilter::new(256, 4, 1);
@@ -166,13 +183,13 @@ mod tests {
             stream: StreamId::R,
             filter: filter.clone(),
         }]);
-        assert_eq!(bloom.wire_bytes(), 4 + filter.size_bytes());
+        assert_eq!(bloom.wire_bytes(), 5 + 25 + filter.size_bytes());
 
         let sketch = AgmsSketch::new(25, 5, 1);
         let skch = Msg::Summary(vec![SummaryPayload::Sketch {
             stream: StreamId::R,
             sketch: sketch.clone(),
         }]);
-        assert_eq!(skch.wire_bytes(), 4 + sketch.size_bytes());
+        assert_eq!(skch.wire_bytes(), 5 + 25 + sketch.size_bytes());
     }
 }

@@ -3,7 +3,6 @@
 
 use crate::msg::Msg;
 use crate::strategy::{peers_of, Algorithm, Route, Router, RouterConfig};
-use dsj_simnet::{Ctx, NodeId, SimNode};
 use dsj_stream::{SlidingWindow, StreamId, Tuple, WindowSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -169,8 +168,9 @@ pub struct JoinNode {
     governor: Option<ThroughputGovernor>,
     /// Route scratch reused across arrivals (zero steady-state allocation).
     route_scratch: Route,
-    /// Outgoing-message buffer reused by the `SimNode` adapter.
-    msg_scratch: Vec<(u16, Msg)>,
+    /// Order-sensitive digest of every counted match observation — see
+    /// [`JoinNode::match_digest`].
+    match_digest: u64,
 }
 
 impl JoinNode {
@@ -197,7 +197,7 @@ impl JoinNode {
             metrics: NodeMetrics::default(),
             governor: None,
             route_scratch: Route::default(),
-            msg_scratch: Vec::new(),
+            match_digest: Self::DIGEST_BASIS,
         }
     }
 
@@ -241,6 +241,27 @@ impl JoinNode {
     fn counts(&self, seq: u64) -> bool {
         seq >= self.count_from_seq
     }
+
+    /// FNV-1a offset basis / prime for the match digest.
+    const DIGEST_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const DIGEST_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// An order-sensitive digest of this node's counted match
+    /// observations: every post-warm-up probe folds its `(seq, matches)`
+    /// pair in FNV-1a style, in processing order. Two runs report the same
+    /// digest exactly when this node observed the same match set in the
+    /// same order — the "identical match sets" witness the cross-backend
+    /// equivalence suite compares across simnet, threads and TCP.
+    pub fn match_digest(&self) -> u64 {
+        self.match_digest
+    }
+
+    #[inline]
+    fn fold_match(&mut self, seq: u64, matches: u32) {
+        self.match_digest = (self.match_digest ^ seq).wrapping_mul(Self::DIGEST_PRIME);
+        self.match_digest =
+            (self.match_digest ^ u64::from(matches)).wrapping_mul(Self::DIGEST_PRIME);
+    }
 }
 
 impl JoinNode {
@@ -267,6 +288,7 @@ impl JoinNode {
         let local = self.window(tuple.stream.opposite()).probe(tuple.key);
         if self.counts(tuple.seq) {
             self.metrics.local_matches += u64::from(local);
+            self.fold_match(tuple.seq, local);
         }
         // Insert into the tuple's window, then hand the evicted keys (a
         // borrow of the window's reusable eviction buffer — disjoint from
@@ -354,6 +376,7 @@ impl JoinNode {
                     .probe_before(tuple.key, tuple.seq);
                 if self.counts(tuple.seq) {
                     self.metrics.remote_matches += u64::from(matches);
+                    self.fold_match(tuple.seq, matches);
                 }
             }
             Msg::Summary(payloads) => {
@@ -366,39 +389,28 @@ impl JoinNode {
     }
 }
 
-impl SimNode for JoinNode {
-    type Input = Tuple;
-    type Msg = Msg;
-
-    fn on_input(&mut self, tuple: Tuple, ctx: &mut Ctx<'_, Msg>) {
-        let mut msgs = std::mem::take(&mut self.msg_scratch);
-        self.handle_arrival_into(tuple, ctx.now().as_micros(), &mut msgs);
-        for (peer, msg) in msgs.drain(..) {
-            let bytes = msg.wire_bytes();
-            ctx.send(peer, msg, bytes);
-        }
-        self.msg_scratch = msgs;
-    }
-
-    fn on_message(&mut self, from: NodeId, msg: Msg, _ctx: &mut Ctx<'_, Msg>) {
-        self.handle_message(from, msg);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::NodeEngine;
     use crate::strategy::test_config;
     use dsj_simnet::{LinkConfig, SimTime, Simulation};
 
-    fn cluster(algorithm: Algorithm, n: u16) -> Simulation<JoinNode> {
+    fn cluster(algorithm: Algorithm, n: u16) -> Simulation<NodeEngine> {
         let nodes = (0..n)
-            .map(|me| JoinNode::new(algorithm, test_config(me, n), WindowSpec::count(32), 0))
+            .map(|me| {
+                NodeEngine::new(JoinNode::new(
+                    algorithm,
+                    test_config(me, n),
+                    WindowSpec::count(32),
+                    0,
+                ))
+            })
             .collect();
         Simulation::new(nodes, LinkConfig::instant(), 11)
     }
 
-    fn inject_seq(sim: &mut Simulation<JoinNode>, arrivals: &[(u16, StreamId, u32)]) {
+    fn inject_seq(sim: &mut Simulation<NodeEngine>, arrivals: &[(u16, StreamId, u32)]) {
         for (i, &(node, stream, key)) in arrivals.iter().enumerate() {
             let t = SimTime::from_micros(i as u64 * 1_000);
             sim.inject_at(t, node, Tuple::new(stream, key, i as u64, node));
@@ -447,12 +459,12 @@ mod tests {
     fn warmup_exclusion_skips_early_matches() {
         let nodes = (0..2)
             .map(|me| {
-                JoinNode::new(
+                NodeEngine::new(JoinNode::new(
                     Algorithm::Base,
                     test_config(me, 2),
                     WindowSpec::count(32),
                     2, // count only from seq 2
-                )
+                ))
             })
             .collect();
         let mut sim = Simulation::new(nodes, LinkConfig::instant(), 3);

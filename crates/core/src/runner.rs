@@ -2,6 +2,7 @@
 //! simulated WAN, and measures the paper's three metrics — ε-error,
 //! messages per result tuple, and throughput (Section 6).
 
+use crate::engine::NodeEngine;
 use crate::error::RunError;
 use crate::flow::{FlowParams, TargetComplexity};
 use crate::node::{JoinNode, NodeMetrics};
@@ -274,9 +275,12 @@ impl ClusterConfig {
         self.validate()?;
         let mut reg = obs::Registry::new();
 
-        // Build the cluster.
+        // Build the cluster: one engine per node over the simulated WAN
+        // transport.
         let mut sim = reg.time_phase("build", || {
-            let nodes: Vec<JoinNode> = (0..self.n).map(|me| self.build_node(me)).collect();
+            let nodes: Vec<NodeEngine> = (0..self.n)
+                .map(|me| NodeEngine::new(self.build_node(me)))
+                .collect();
             Simulation::new(nodes, self.link, self.seed ^ 0x51A1)
         });
 
@@ -418,6 +422,49 @@ impl ClusterConfig {
         reg.gauge_set("throughput", report.throughput);
         reg.gauge_set("load_imbalance", report.load_imbalance);
         reg.gauge_set("virtual_duration_secs", report.duration_secs);
+    }
+
+    /// Runs the workload in *lockstep*: each arrival is injected at the
+    /// current virtual time and the simulation drains to global quiescence
+    /// before the next — every probe and summary lands before another
+    /// tuple moves. This is the cross-backend reference mode: driven this
+    /// way, the simulated cluster, `dsj-runtime`'s threaded cluster and
+    /// its TCP cluster process identical per-node event sequences, so
+    /// their per-node metrics and match digests must agree exactly
+    /// (`crates/runtime/tests/equivalence.rs` pins this for all five
+    /// algorithms).
+    ///
+    /// Equivalence across backends additionally requires configuration
+    /// whose behavior is clock-free: count-bounded windows (the default)
+    /// and no bandwidth governor, since virtual and wall clocks disagree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] for invalid configurations.
+    pub fn run_lockstep(&self) -> Result<LockstepReport, RunError> {
+        self.validate()?;
+        let nodes: Vec<NodeEngine> = (0..self.n)
+            .map(|me| NodeEngine::new(self.build_node(me)))
+            .collect();
+        let mut sim = Simulation::new(nodes, self.link, self.seed ^ 0x51A1);
+        let arrivals = self.arrivals();
+        for a in &arrivals {
+            let t = sim.now();
+            sim.inject_at(t, a.node, a.tuple());
+            sim.run_to_quiescence();
+        }
+        let per_node: Vec<NodeMetrics> = sim.iter_nodes().map(|e| *e.metrics()).collect();
+        let match_digests: Vec<u64> = sim.iter_nodes().map(NodeEngine::match_digest).collect();
+        let totals = per_node.iter().fold(NodeMetrics::default(), |mut acc, m| {
+            acc.absorb(m);
+            acc
+        });
+        Ok(LockstepReport {
+            truth_matches: self.ground_truth_matches(),
+            reported_matches: totals.matches(),
+            per_node,
+            match_digests,
+        })
     }
 
     /// Calibrates the message-complexity target so the measured error is at
@@ -596,6 +643,22 @@ impl ClusterConfig {
         }
         best.ok_or(RunError::EmptyGrid)
     }
+}
+
+/// What [`ClusterConfig::run_lockstep`] measures: the backend-independent
+/// slice of a run — exactly the facts the cross-backend equivalence suite
+/// compares. (Throughput and wall/virtual durations are deliberately
+/// absent: they differ across backends by construction.)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockstepReport {
+    /// Exact result-set size `|Ψ|` (post warm-up).
+    pub truth_matches: u64,
+    /// Matches the cluster reported (post warm-up).
+    pub reported_matches: u64,
+    /// Every node's counters, in node order.
+    pub per_node: Vec<NodeMetrics>,
+    /// Every node's order-sensitive match digest, in node order.
+    pub match_digests: Vec<u64>,
 }
 
 /// The measured outcome of one cluster experiment.

@@ -1,0 +1,699 @@
+//! The wire codec: deterministic, versioned, length-prefixed binary frames
+//! for [`Msg`].
+//!
+//! Until this module existed the repo only *modeled* wire size
+//! ([`Msg::wire_bytes`]); the codec makes the model honest. Every frame a
+//! real socket carries is produced by [`encode_into`] and its length is, by
+//! construction and by test, exactly `msg.wire_bytes()` — so the simnet
+//! bandwidth model, Figure 8's overhead accounting and the TCP backend in
+//! `dsj-runtime` all charge identical bytes.
+//!
+//! # Frame layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! frame      := len:u32 | body                  (len = body length in bytes)
+//! body       := ver_kind:u8 | content           (ver_kind = VERSION << 4 | kind)
+//! kind 0     := tuple | payload*                (Msg::Tuple)
+//! kind 1     := payload*                        (Msg::Summary)
+//! tuple      := stream:u8 | key:u32 | seq:u64 | origin:u16        (15 bytes)
+//! payload    := ptype:u8 | params               (ptype = pkind << 1 | stream)
+//! pkind 0    := signal_len:u32 | count:u32 | (index:u16, re:f64, im:f64)*count
+//! pkind 1    := m:u32 | k:u32 | seed:u64 | items:u64 | counter:u32 * m
+//! pkind 2    := s0:u32 | s1:u32 | seed:u64 | updates:u64 | counter:i64 * s0·s1
+//! ```
+//!
+//! Payload items are self-delimiting and parsed until the frame body is
+//! exhausted, so a bare tuple frame is exactly [`Tuple::WIRE_BYTES`] (20)
+//! bytes and piggyback summaries only pay their own encoded size. Floats
+//! travel as IEEE-754 bit patterns (`f64::to_bits`), making encoding a
+//! bijection: any frame that decodes re-encodes to identical bytes.
+//!
+//! # Version byte policy
+//!
+//! The high nibble of `ver_kind` is the codec version, currently
+//! [`VERSION`] = 1. Decoders reject any other version with
+//! [`WireError::BadVersion`] rather than guessing; a future layout change
+//! bumps the version and keeps the old decoder around for one release so
+//! mixed clusters fail loudly, not silently. The low nibble leaves room for
+//! 15 more message kinds before the version must change.
+//!
+//! Decoding is total: corrupted, truncated or oversized input returns a
+//! typed [`WireError`] — never a panic — which the property suite in
+//! `crates/core/tests/wire_props.rs` hammers with arbitrary mutations.
+
+use crate::msg::{CoeffUpdate, Msg, SummaryPayload};
+use dsj_dft::Complex64;
+use dsj_sketch::{AgmsSketch, CountingBloomFilter};
+use dsj_stream::{StreamId, Tuple};
+use std::fmt;
+
+/// Current codec version, carried in the high nibble of every frame's
+/// `ver_kind` byte.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a frame body's length (16 MiB). Far above any summary
+/// this system produces; a length prefix beyond it is treated as corruption
+/// rather than an allocation request.
+pub const MAX_FRAME_BODY: usize = 1 << 24;
+
+/// Bytes of framing shared by every message: the `u32` length prefix plus
+/// the `ver_kind` byte.
+pub const FRAME_OVERHEAD: usize = 5;
+
+const KIND_TUPLE: u8 = 0;
+const KIND_SUMMARY: u8 = 1;
+const PKIND_DFT: u8 = 0;
+const PKIND_BLOOM: u8 = 1;
+const PKIND_SKETCH: u8 = 2;
+/// Decode-side sanity bound on a Bloom filter's hash count (encoders derive
+/// at most 16; see `CountingBloomFilter::with_size_bytes`).
+const MAX_BLOOM_HASHES: usize = 256;
+
+/// Typed decode failure. Every variant is a *diagnosis*, not a crash:
+/// decoding arbitrary bytes can return any of these but can never panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended mid-frame or mid-field.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_BODY`].
+    FrameTooLarge(usize),
+    /// The frame's version nibble is not [`VERSION`].
+    BadVersion(u8),
+    /// The frame's kind nibble names no known message kind.
+    BadKind(u8),
+    /// A payload item's kind bits name no known summary kind.
+    BadPayloadKind(u8),
+    /// A structurally invalid field (zero-sized filter, empty body, ...).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::FrameTooLarge(len) => {
+                write!(f, "frame body of {len} bytes exceeds {MAX_FRAME_BODY}")
+            }
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v} (want {VERSION})"),
+            WireError::BadKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::BadPayloadKind(k) => write!(f, "unknown summary payload kind {k}"),
+            WireError::Invalid(what) => write!(f, "invalid frame field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends `msg`'s frame to `buf`. Exactly [`Msg::wire_bytes`] bytes are
+/// written — the invariant the whole byte-accounting story rests on, pinned
+/// by the regression tests below and the property suite.
+pub fn encode_into(msg: &Msg, buf: &mut Vec<u8>) {
+    let len_pos = buf.len();
+    buf.extend_from_slice(&[0u8; 4]);
+    let body_start = buf.len();
+    match msg {
+        Msg::Tuple { tuple, piggyback } => {
+            buf.push(tag(KIND_TUPLE));
+            buf.push(stream_bit(tuple.stream));
+            buf.extend_from_slice(&tuple.key.to_le_bytes());
+            buf.extend_from_slice(&tuple.seq.to_le_bytes());
+            buf.extend_from_slice(&tuple.origin.to_le_bytes());
+            for p in piggyback {
+                encode_payload(p, buf);
+            }
+        }
+        Msg::Summary(payloads) => {
+            buf.push(tag(KIND_SUMMARY));
+            for p in payloads {
+                encode_payload(p, buf);
+            }
+        }
+    }
+    let body_len = (buf.len() - body_start) as u32;
+    buf[len_pos..len_pos + 4].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Encodes `msg` into a fresh buffer (one frame).
+pub fn encode(msg: &Msg) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(msg.wire_bytes());
+    encode_into(msg, &mut buf);
+    buf
+}
+
+fn tag(kind: u8) -> u8 {
+    (VERSION << 4) | kind
+}
+
+fn stream_bit(stream: StreamId) -> u8 {
+    match stream {
+        StreamId::R => 0,
+        StreamId::S => 1,
+    }
+}
+
+fn encode_payload(p: &SummaryPayload, buf: &mut Vec<u8>) {
+    match p {
+        SummaryPayload::Dft {
+            stream,
+            signal_len,
+            updates,
+        } => {
+            buf.push((PKIND_DFT << 1) | stream_bit(*stream));
+            buf.extend_from_slice(&signal_len.to_le_bytes());
+            buf.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+            for u in updates {
+                buf.extend_from_slice(&u.index.to_le_bytes());
+                buf.extend_from_slice(&u.value.re.to_bits().to_le_bytes());
+                buf.extend_from_slice(&u.value.im.to_bits().to_le_bytes());
+            }
+        }
+        SummaryPayload::Bloom { stream, filter } => {
+            buf.push((PKIND_BLOOM << 1) | stream_bit(*stream));
+            buf.extend_from_slice(&(filter.counters() as u32).to_le_bytes());
+            buf.extend_from_slice(&(filter.hash_count() as u32).to_le_bytes());
+            buf.extend_from_slice(&filter.seed().to_le_bytes());
+            buf.extend_from_slice(&filter.len().to_le_bytes());
+            for &c in filter.counter_values() {
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        SummaryPayload::Sketch { stream, sketch } => {
+            buf.push((PKIND_SKETCH << 1) | stream_bit(*stream));
+            buf.extend_from_slice(&(sketch.s0() as u32).to_le_bytes());
+            buf.extend_from_slice(&(sketch.s1() as u32).to_le_bytes());
+            buf.extend_from_slice(&sketch.seed().to_le_bytes());
+            buf.extend_from_slice(&sketch.updates().to_le_bytes());
+            for &c in sketch.counter_values() {
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Decodes one frame from the front of `bytes`. Returns the message and the
+/// number of bytes consumed (the full frame, prefix included).
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when `bytes` holds less than one whole frame;
+/// any other [`WireError`] for structurally invalid content.
+pub fn decode(bytes: &[u8]) -> Result<(Msg, usize), WireError> {
+    let prefix = bytes.get(..4).ok_or(WireError::Truncated)?;
+    let len = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]) as usize;
+    if len > MAX_FRAME_BODY {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    let body = bytes.get(4..4 + len).ok_or(WireError::Truncated)?;
+    let msg = decode_body(body)?;
+    Ok((msg, 4 + len))
+}
+
+/// Decodes a frame *body* (everything after the length prefix): the
+/// entry point for transports that read the prefix themselves.
+///
+/// # Errors
+///
+/// Any [`WireError`] for invalid content; never panics.
+pub fn decode_body(body: &[u8]) -> Result<Msg, WireError> {
+    let mut r = Reader::new(body);
+    let ver_kind = r.u8()?;
+    let version = ver_kind >> 4;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    match ver_kind & 0x0F {
+        KIND_TUPLE => {
+            let stream = decode_stream(r.u8()?)?;
+            let key = r.u32()?;
+            let seq = r.u64()?;
+            let origin = r.u16()?;
+            let mut piggyback = Vec::new();
+            while !r.is_empty() {
+                piggyback.push(decode_payload(&mut r)?);
+            }
+            Ok(Msg::Tuple {
+                tuple: Tuple::new(stream, key, seq, origin),
+                piggyback,
+            })
+        }
+        KIND_SUMMARY => {
+            let mut payloads = Vec::new();
+            while !r.is_empty() {
+                payloads.push(decode_payload(&mut r)?);
+            }
+            Ok(Msg::Summary(payloads))
+        }
+        kind => Err(WireError::BadKind(kind)),
+    }
+}
+
+/// Bounds-checked little-endian cursor over a frame body. Every getter
+/// returns [`WireError::Truncated`] past the end — no indexing, no panics.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+fn decode_stream(bit: u8) -> Result<StreamId, WireError> {
+    match bit {
+        0 => Ok(StreamId::R),
+        1 => Ok(StreamId::S),
+        _ => Err(WireError::Invalid("stream tag out of range")),
+    }
+}
+
+fn decode_payload(r: &mut Reader<'_>) -> Result<SummaryPayload, WireError> {
+    let ptype = r.u8()?;
+    let stream = decode_stream(ptype & 1)?;
+    match ptype >> 1 {
+        PKIND_DFT => {
+            let signal_len = r.u32()?;
+            let count = r.u32()? as usize;
+            let need = count
+                .checked_mul(CoeffUpdate::WIRE_BYTES)
+                .ok_or(WireError::Invalid("coefficient count overflows"))?;
+            if r.remaining() < need {
+                return Err(WireError::Truncated);
+            }
+            let mut updates = Vec::with_capacity(count);
+            for _ in 0..count {
+                let index = r.u16()?;
+                let re = f64::from_bits(r.u64()?);
+                let im = f64::from_bits(r.u64()?);
+                updates.push(CoeffUpdate {
+                    index,
+                    value: Complex64::new(re, im),
+                });
+            }
+            Ok(SummaryPayload::Dft {
+                stream,
+                signal_len,
+                updates,
+            })
+        }
+        PKIND_BLOOM => {
+            let m = r.u32()? as usize;
+            let k = r.u32()? as usize;
+            let seed = r.u64()?;
+            let items = r.u64()?;
+            if m == 0 {
+                return Err(WireError::Invalid("bloom filter without counters"));
+            }
+            if k == 0 || k > MAX_BLOOM_HASHES {
+                return Err(WireError::Invalid("bloom hash count out of range"));
+            }
+            if r.remaining() < m * 4 {
+                return Err(WireError::Truncated);
+            }
+            let mut counters = Vec::with_capacity(m);
+            for _ in 0..m {
+                counters.push(r.u32()?);
+            }
+            Ok(SummaryPayload::Bloom {
+                stream,
+                filter: CountingBloomFilter::from_parts(k, seed, counters, items),
+            })
+        }
+        PKIND_SKETCH => {
+            let s0 = r.u32()? as usize;
+            let s1 = r.u32()? as usize;
+            let seed = r.u64()?;
+            let total_updates = r.u64()?;
+            if s0 == 0 || s1 == 0 {
+                return Err(WireError::Invalid("sketch dimensions must be positive"));
+            }
+            let cells = s0
+                .checked_mul(s1)
+                .ok_or(WireError::Invalid("sketch dimensions overflow"))?;
+            let need = cells
+                .checked_mul(8)
+                .ok_or(WireError::Invalid("sketch dimensions overflow"))?;
+            if r.remaining() < need {
+                return Err(WireError::Truncated);
+            }
+            let mut counters = Vec::with_capacity(cells);
+            for _ in 0..cells {
+                counters.push(r.u64()? as i64);
+            }
+            Ok(SummaryPayload::Sketch {
+                stream,
+                sketch: AgmsSketch::from_parts(s0, s1, seed, counters, total_updates),
+            })
+        }
+        pkind => Err(WireError::BadPayloadKind(pkind)),
+    }
+}
+
+/// Incremental frame reassembly over a byte stream delivered in arbitrary
+/// chunks (the read side of a TCP connection, a proxy buffer, ...).
+///
+/// Feed bytes as they arrive; [`FrameDecoder::next_msg`] yields complete
+/// messages and buffers partial frames internally. Consumed frames are
+/// compacted away, so the buffer holds at most one partial frame plus
+/// whatever complete frames have not been drained yet.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `start` was consumed.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete message, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; a fed-in partial frame is not an
+    /// error until the stream ends.
+    ///
+    /// # Errors
+    ///
+    /// Any non-`Truncated` [`WireError`] for corrupt buffered content. The
+    /// decoder does not resynchronize after an error — a framed stream has
+    /// no recovery point — so callers should drop the connection.
+    pub fn next_msg(&mut self) -> Result<Option<Msg>, WireError> {
+        match decode(&self.buf[self.start..]) {
+            Ok((msg, consumed)) => {
+                self.start += consumed;
+                Ok(Some(msg))
+            }
+            Err(WireError::Truncated) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded message.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coeffs(n: usize) -> Vec<CoeffUpdate> {
+        (0..n)
+            .map(|i| CoeffUpdate {
+                index: i as u16,
+                value: Complex64::new(i as f64 + 0.5, -(i as f64)),
+            })
+            .collect()
+    }
+
+    fn sample_msgs() -> Vec<Msg> {
+        let mut filter = CountingBloomFilter::new(64, 4, 9);
+        filter.insert(17);
+        filter.insert(99);
+        let mut sketch = AgmsSketch::new(10, 2, 5);
+        sketch.update(3, 1);
+        sketch.update(8, -2);
+        vec![
+            Msg::Tuple {
+                tuple: Tuple::new(StreamId::R, 7, 42, 3),
+                piggyback: Vec::new(),
+            },
+            Msg::Tuple {
+                tuple: Tuple::new(StreamId::S, u32::MAX, u64::MAX, u16::MAX),
+                piggyback: vec![SummaryPayload::Dft {
+                    stream: StreamId::S,
+                    signal_len: 1024,
+                    updates: coeffs(3),
+                }],
+            },
+            Msg::Summary(vec![
+                SummaryPayload::Dft {
+                    stream: StreamId::R,
+                    signal_len: 64,
+                    updates: coeffs(10),
+                },
+                SummaryPayload::Bloom {
+                    stream: StreamId::S,
+                    filter: filter.clone(),
+                },
+                SummaryPayload::Sketch {
+                    stream: StreamId::R,
+                    sketch: sketch.clone(),
+                },
+            ]),
+            Msg::Summary(Vec::new()),
+        ]
+    }
+
+    /// The tentpole invariant: the codec writes exactly the bytes the model
+    /// charges, for every message class.
+    #[test]
+    fn encoded_len_matches_wire_bytes() {
+        for msg in sample_msgs() {
+            assert_eq!(encode(&msg).len(), msg.wire_bytes(), "{msg:?}");
+        }
+    }
+
+    /// Per-variant size regressions: the drift fix pinned to arithmetic.
+    #[test]
+    fn per_variant_sizes() {
+        // Bare tuple: 4 len + 1 ver/kind + 15 body = Tuple::WIRE_BYTES.
+        let bare = Msg::Tuple {
+            tuple: Tuple::new(StreamId::R, 1, 2, 3),
+            piggyback: Vec::new(),
+        };
+        assert_eq!(encode(&bare).len(), Tuple::WIRE_BYTES);
+        assert_eq!(bare.wire_bytes(), 20);
+
+        // Dft payload: 1 ptype + 4 signal_len + 4 count + 18 per update.
+        let dft = SummaryPayload::Dft {
+            stream: StreamId::R,
+            signal_len: 512,
+            updates: coeffs(7),
+        };
+        assert_eq!(dft.wire_bytes(), 9 + 7 * CoeffUpdate::WIRE_BYTES);
+
+        // Bloom payload: 1 ptype + 4 m + 4 k + 8 seed + 8 items + 4 per counter.
+        let filter = CountingBloomFilter::new(256, 4, 1);
+        let bloom = SummaryPayload::Bloom {
+            stream: StreamId::S,
+            filter: filter.clone(),
+        };
+        assert_eq!(bloom.wire_bytes(), 25 + filter.size_bytes());
+        assert_eq!(bloom.wire_bytes(), 25 + 256 * 4);
+
+        // Sketch payload: 1 ptype + 4 s0 + 4 s1 + 8 seed + 8 updates + 8 per counter.
+        let sketch = AgmsSketch::new(25, 5, 1);
+        let skch = SummaryPayload::Sketch {
+            stream: StreamId::R,
+            sketch: sketch.clone(),
+        };
+        assert_eq!(skch.wire_bytes(), 25 + sketch.size_bytes());
+        assert_eq!(skch.wire_bytes(), 25 + 125 * 8);
+
+        // Standalone summary: frame overhead + payload sum.
+        let msg = Msg::Summary(vec![dft.clone(), bloom.clone(), skch.clone()]);
+        assert_eq!(
+            msg.wire_bytes(),
+            FRAME_OVERHEAD + dft.wire_bytes() + bloom.wire_bytes() + skch.wire_bytes()
+        );
+        assert_eq!(encode(&msg).len(), msg.wire_bytes());
+
+        // Piggybacked tuple: tuple frame + payload sum, no double framing.
+        let pig = Msg::Tuple {
+            tuple: Tuple::new(StreamId::S, 9, 10, 0),
+            piggyback: vec![dft],
+        };
+        assert_eq!(
+            pig.wire_bytes(),
+            Tuple::WIRE_BYTES + 9 + 7 * CoeffUpdate::WIRE_BYTES
+        );
+        assert_eq!(encode(&pig).len(), pig.wire_bytes());
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for msg in sample_msgs() {
+            let bytes = encode(&msg);
+            let (back, consumed) = decode(&bytes).unwrap();
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(back, msg);
+            // Rehydrated summaries must behave identically, not just
+            // compare equal: re-encoding reproduces the exact bytes.
+            assert_eq!(encode(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let msgs = sample_msgs();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            encode_into(m, &mut stream);
+        }
+        let mut offset = 0;
+        for m in &msgs {
+            let (back, consumed) = decode(&stream[offset..]).unwrap();
+            assert_eq!(&back, m);
+            offset += consumed;
+        }
+        assert_eq!(offset, stream.len());
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_typed() {
+        let bytes = encode(&sample_msgs()[2]);
+        for cut in 0..bytes.len() {
+            assert_eq!(decode(&bytes[..cut]).unwrap_err(), WireError::Truncated);
+        }
+        // Wrong version nibble.
+        let mut bad = bytes.clone();
+        bad[4] = (2 << 4) | (bad[4] & 0x0F);
+        assert_eq!(decode(&bad).unwrap_err(), WireError::BadVersion(2));
+        // Unknown kind nibble.
+        let mut bad = bytes.clone();
+        bad[4] = (VERSION << 4) | 7;
+        assert_eq!(decode(&bad).unwrap_err(), WireError::BadKind(7));
+        // Absurd length prefix.
+        let mut bad = bytes.clone();
+        bad[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            decode(&bad).unwrap_err(),
+            WireError::FrameTooLarge(u32::MAX as usize)
+        );
+        // Unknown payload kind inside a summary frame.
+        let msg = Msg::Summary(vec![SummaryPayload::Dft {
+            stream: StreamId::R,
+            signal_len: 8,
+            updates: Vec::new(),
+        }]);
+        let mut bad = encode(&msg);
+        bad[5] = 3 << 1;
+        assert_eq!(decode(&bad).unwrap_err(), WireError::BadPayloadKind(3));
+    }
+
+    #[test]
+    fn frame_decoder_reassembles_chunks() {
+        let msgs = sample_msgs();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            encode_into(m, &mut stream);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for chunk in stream.chunks(3) {
+            dec.feed(chunk);
+            while let Some(m) = dec.next_msg().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn bloom_filter_survives_the_wire_functionally() {
+        let mut filter = CountingBloomFilter::new(128, 3, 42);
+        for v in 0..40u64 {
+            filter.insert(v * 3);
+        }
+        let msg = Msg::Summary(vec![SummaryPayload::Bloom {
+            stream: StreamId::R,
+            filter: filter.clone(),
+        }]);
+        let (back, _) = decode(&encode(&msg)).unwrap();
+        let Msg::Summary(ps) = back else {
+            panic!("kind changed in flight")
+        };
+        let SummaryPayload::Bloom {
+            filter: rebuilt, ..
+        } = &ps[0]
+        else {
+            panic!("payload kind changed in flight")
+        };
+        for v in 0..40u64 {
+            assert!(rebuilt.contains(v * 3), "membership lost for {v}");
+        }
+        assert_eq!(rebuilt.len(), filter.len());
+    }
+
+    #[test]
+    fn sketch_survives_the_wire_functionally() {
+        let mut a = AgmsSketch::new(20, 4, 7);
+        let mut b = AgmsSketch::new(20, 4, 7);
+        for v in 0..64u64 {
+            a.update(v, 1);
+            b.update(v, 1);
+        }
+        let msg = Msg::Summary(vec![SummaryPayload::Sketch {
+            stream: StreamId::S,
+            sketch: a.clone(),
+        }]);
+        let (back, _) = decode(&encode(&msg)).unwrap();
+        let Msg::Summary(ps) = back else {
+            panic!("kind changed in flight")
+        };
+        let SummaryPayload::Sketch {
+            sketch: rebuilt, ..
+        } = &ps[0]
+        else {
+            panic!("payload kind changed in flight")
+        };
+        // The rebuilt sketch joins against a never-serialized peer exactly
+        // as the original does (hash family re-derived from the seed).
+        assert_eq!(
+            rebuilt.join_size(&b).unwrap(),
+            a.join_size(&b).unwrap(),
+            "wire transit changed the estimator"
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Property tests for the wire codec: round-trip identity, framing under
+//! arbitrary chunking, and typed (never panicking) rejection of corrupt
+//! or truncated bytes.
+//!
+//! Messages are built from generated scalars rather than a bespoke `Msg`
+//! strategy, so every case renders its raw inputs on failure.
+
+use dsj_core::msg::CoeffUpdate;
+use dsj_core::wire::{self, FrameDecoder, WireError, FRAME_OVERHEAD, VERSION};
+use dsj_core::{Msg, SummaryPayload};
+use dsj_dft::Complex64;
+use dsj_sketch::{AgmsSketch, CountingBloomFilter};
+use dsj_stream::{StreamId, Tuple};
+use proptest::prelude::*;
+
+fn sid(s: bool) -> StreamId {
+    if s {
+        StreamId::S
+    } else {
+        StreamId::R
+    }
+}
+
+/// Deterministically assembles one message from generated scalars.
+///
+/// `selector` picks the shape; the remaining arguments parameterize it.
+/// Floats come from integer ratios so equality comparisons are exact and
+/// NaN never appears (NaN is unrepresentable round-trip under `==`).
+#[allow(clippy::too_many_arguments)]
+fn build_msg(
+    selector: u8,
+    stream: bool,
+    key: u32,
+    seq: u64,
+    origin: u16,
+    signal_len: u32,
+    seed: u64,
+    k: u32,
+    dims: (usize, usize),
+    coeffs: &[(u16, i32, i32)],
+    counters: &[u32],
+) -> Msg {
+    let dft = || SummaryPayload::Dft {
+        stream: sid(stream),
+        signal_len,
+        updates: coeffs
+            .iter()
+            .map(|&(index, re, im)| CoeffUpdate {
+                index,
+                value: Complex64::new(f64::from(re) / 8.0, f64::from(im) / 4.0),
+            })
+            .collect(),
+    };
+    let bloom = || SummaryPayload::Bloom {
+        stream: sid(!stream),
+        filter: CountingBloomFilter::from_parts(
+            k as usize,
+            seed,
+            counters.to_vec(),
+            u64::from(key),
+        ),
+    };
+    let sketch = || {
+        let (s0, s1) = dims;
+        SummaryPayload::Sketch {
+            stream: sid(stream),
+            sketch: AgmsSketch::from_parts(
+                s0,
+                s1,
+                seed,
+                counters[..s0 * s1]
+                    .iter()
+                    .map(|&c| i64::from(c as i32))
+                    .collect(),
+                seq,
+            ),
+        }
+    };
+    let tuple = Tuple::new(sid(stream), key, seq, origin);
+    match selector % 6 {
+        0 => Msg::Tuple {
+            tuple,
+            piggyback: Vec::new(),
+        },
+        1 => Msg::Tuple {
+            tuple,
+            piggyback: vec![dft()],
+        },
+        2 => Msg::Tuple {
+            tuple,
+            piggyback: vec![dft(), bloom()],
+        },
+        3 => Msg::Summary(vec![dft()]),
+        4 => Msg::Summary(vec![bloom(), sketch()]),
+        _ => Msg::Summary(vec![sketch(), dft(), bloom()]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn round_trip_is_identity_and_sizes_agree(
+        selector in 0u8..6,
+        stream in prop::bool::ANY,
+        key in 0u32..u32::MAX,
+        seq in 0u64..u64::MAX,
+        origin in 0u16..u16::MAX,
+        signal_len in 1u32..(1 << 20),
+        seed in 0u64..u64::MAX,
+        k in 1u32..9,
+        s0 in 1usize..5,
+        s1 in 1usize..7,
+        coeffs in prop::collection::vec((0u16..1024, -64i32..64, -64i32..64), 0..9),
+        counters in prop::collection::vec(0u32..1 << 30, 24..25),
+    ) {
+        let msg = build_msg(
+            selector, stream, key, seq, origin, signal_len, seed, k, (s0, s1),
+            &coeffs, &counters,
+        );
+        let bytes = wire::encode(&msg);
+        // Tentpole invariant: the byte model is the codec, exactly.
+        prop_assert_eq!(bytes.len(), msg.wire_bytes());
+        let (decoded, consumed) = wire::decode(&bytes).expect("valid frame");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(&decoded, &msg);
+        // Encoding is canonical: re-encoding the decoded value is
+        // byte-identical.
+        prop_assert_eq!(wire::encode(&decoded), bytes);
+    }
+
+    #[test]
+    fn framing_survives_arbitrary_chunked_delivery(
+        selectors in prop::collection::vec(0u8..6, 1..5),
+        stream in prop::bool::ANY,
+        key in 0u32..u32::MAX,
+        seq in 0u64..u64::MAX,
+        origin in 0u16..u16::MAX,
+        signal_len in 1u32..(1 << 20),
+        seed in 0u64..u64::MAX,
+        k in 1u32..9,
+        s0 in 1usize..5,
+        s1 in 1usize..7,
+        coeffs in prop::collection::vec((0u16..1024, -64i32..64, -64i32..64), 0..9),
+        counters in prop::collection::vec(0u32..1 << 30, 24..25),
+        chunk_sizes in prop::collection::vec(1usize..13, 8..64),
+    ) {
+        let msgs: Vec<Msg> = selectors
+            .iter()
+            .enumerate()
+            .map(|(i, &sel)| build_msg(
+                sel, stream, key ^ i as u32, seq, origin, signal_len, seed, k,
+                (s0, s1), &coeffs, &counters,
+            ))
+            .collect();
+        let mut stream_bytes = Vec::new();
+        for m in &msgs {
+            wire::encode_into(m, &mut stream_bytes);
+        }
+        // Split the byte stream at arbitrary boundaries (cycling through
+        // the generated chunk sizes) and feed the pieces one at a time.
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut pos = 0;
+        let mut i = 0;
+        while pos < stream_bytes.len() {
+            let take = chunk_sizes[i % chunk_sizes.len()].min(stream_bytes.len() - pos);
+            i += 1;
+            decoder.feed(&stream_bytes[pos..pos + take]);
+            pos += take;
+            while let Some(msg) = decoder.next_msg().expect("uncorrupted stream") {
+                decoded.push(msg);
+            }
+        }
+        prop_assert_eq!(&decoded, &msgs);
+        prop_assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error(
+        selector in 0u8..6,
+        stream in prop::bool::ANY,
+        key in 0u32..u32::MAX,
+        seq in 0u64..u64::MAX,
+        origin in 0u16..u16::MAX,
+        signal_len in 1u32..(1 << 20),
+        seed in 0u64..u64::MAX,
+        k in 1u32..9,
+        s0 in 1usize..5,
+        s1 in 1usize..7,
+        coeffs in prop::collection::vec((0u16..1024, -64i32..64, -64i32..64), 0..9),
+        counters in prop::collection::vec(0u32..1 << 30, 24..25),
+        cut_at in 0usize..4096,
+    ) {
+        let msg = build_msg(
+            selector, stream, key, seq, origin, signal_len, seed, k, (s0, s1),
+            &coeffs, &counters,
+        );
+        let bytes = wire::encode(&msg);
+        let cut = cut_at % bytes.len();
+        // Any strict prefix decodes to Truncated — never to a wrong
+        // message, never to a panic.
+        prop_assert_eq!(wire::decode(&bytes[..cut]).unwrap_err(), WireError::Truncated);
+        // A FrameDecoder holding the prefix reports "need more bytes".
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes[..cut]);
+        prop_assert_eq!(decoder.next_msg().expect("truncation is not fatal"), None);
+    }
+
+    #[test]
+    fn corrupted_version_or_kind_is_rejected(
+        selector in 0u8..6,
+        stream in prop::bool::ANY,
+        key in 0u32..u32::MAX,
+        seq in 0u64..u64::MAX,
+        origin in 0u16..u16::MAX,
+        signal_len in 1u32..(1 << 20),
+        seed in 0u64..u64::MAX,
+        k in 1u32..9,
+        s0 in 1usize..5,
+        s1 in 1usize..7,
+        coeffs in prop::collection::vec((0u16..1024, -64i32..64, -64i32..64), 0..9),
+        counters in prop::collection::vec(0u32..1 << 30, 24..25),
+        bad_version in 0u8..16,
+        bad_kind in 2u8..16,
+    ) {
+        prop_assume!(bad_version != VERSION);
+        let msg = build_msg(
+            selector, stream, key, seq, origin, signal_len, seed, k, (s0, s1),
+            &coeffs, &counters,
+        );
+        let mut bytes = wire::encode(&msg);
+        let original_tag = bytes[4];
+        // Wrong version nibble: typed BadVersion carrying the stranger.
+        bytes[4] = (bad_version << 4) | (original_tag & 0x0F);
+        prop_assert_eq!(
+            wire::decode(&bytes).unwrap_err(),
+            WireError::BadVersion(bad_version)
+        );
+        // Right version, unknown kind nibble: typed BadKind.
+        bytes[4] = (VERSION << 4) | bad_kind;
+        prop_assert_eq!(wire::decode(&bytes).unwrap_err(), WireError::BadKind(bad_kind));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_successes_are_canonical(
+        noise in prop::collection::vec(0u16..256, 0..96),
+    ) {
+        let bytes: Vec<u8> = noise.iter().map(|&b| b as u8).collect();
+        // Whatever the bytes, decoding returns — typed error or message.
+        if let Ok((msg, consumed)) = wire::decode(&bytes) {
+            // Decode is the inverse of a canonical encoding: any accepted
+            // frame re-encodes to exactly the consumed bytes.
+            prop_assert_eq!(wire::encode(&msg), &bytes[..consumed]);
+        }
+        // Same through the incremental decoder, fed a byte at a time.
+        let mut decoder = FrameDecoder::new();
+        for b in &bytes {
+            decoder.feed(std::slice::from_ref(b));
+            if decoder.next_msg().is_err() {
+                break; // fatal corruption is sticky, not a panic
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocation(
+        claimed in (1u32 << 24)..u32::MAX,
+    ) {
+        // A length prefix over MAX_FRAME_BODY is rejected from the prefix
+        // alone — decode never trusts it enough to allocate.
+        let mut bytes = claimed.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 8]);
+        prop_assert_eq!(
+            wire::decode(&bytes).unwrap_err(),
+            WireError::FrameTooLarge(claimed as usize)
+        );
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes);
+        prop_assert!(decoder.next_msg().is_err());
+    }
+}
+
+#[test]
+fn frame_overhead_constant_matches_bare_tuple() {
+    let bare = Msg::Tuple {
+        tuple: Tuple::new(StreamId::R, 0, 0, 0),
+        piggyback: Vec::new(),
+    };
+    assert_eq!(wire::encode(&bare).len(), FRAME_OVERHEAD + 15);
+    assert_eq!(Tuple::WIRE_BYTES, FRAME_OVERHEAD + 15);
+}

@@ -153,8 +153,10 @@ fn the_original_waivers_are_still_alive_and_audited() {
         assert!(w.hits > 0, "stale waiver in {file}: {w:?}");
     }
     // Pin the total pragma count so waiver drift is a conscious edit here,
-    // not an accident: 3 token-rule waivers + 8 hot-path cold-path escapes.
-    assert_eq!(report.waivers.len(), 11, "{:#?}", report.waivers);
+    // not an accident: 3 token-rule waivers + 11 hot-path cold-path escapes
+    // (the transport layer added the engine's send fan-out and the two
+    // live transports' wall-clock reads).
+    assert_eq!(report.waivers.len(), 14, "{:#?}", report.waivers);
     assert!(
         report.waivers.iter().all(|w| w.hits > 0),
         "{:#?}",

@@ -1,15 +1,13 @@
 //! One OS thread per node, crossbeam channels as links.
 
+use crate::harness::{self, Pacing, Shared};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dsj_core::obs;
-use dsj_core::{ClusterConfig, Msg, NodeMetrics};
-use dsj_stream::Tuple;
-use parking_lot::Mutex;
+use dsj_core::{ClusterConfig, Msg, NodeEngine, NodeMetrics, Transport, TransportEvent};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
-use std::thread;
 use std::time::{Duration, Instant};
 
 /// Error raised when the live cluster fails to run to completion.
@@ -22,6 +20,20 @@ pub enum LiveError {
     NodePanicked(u16),
     /// A channel closed unexpectedly (a peer died mid-run).
     ChannelClosed,
+    /// A socket operation failed on the TCP backend.
+    Io {
+        /// The node whose socket failed.
+        node: u16,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// Bytes arriving on a TCP link failed to decode as a codec frame.
+    Decode {
+        /// The node that received the undecodable bytes.
+        node: u16,
+        /// The wire error, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for LiveError {
@@ -30,6 +42,10 @@ impl fmt::Display for LiveError {
             LiveError::Config(e) => write!(f, "invalid cluster configuration: {e}"),
             LiveError::NodePanicked(id) => write!(f, "node thread {id} panicked"),
             LiveError::ChannelClosed => write!(f, "inter-node channel closed unexpectedly"),
+            LiveError::Io { node, detail } => write!(f, "socket error at node {node}: {detail}"),
+            LiveError::Decode { node, detail } => {
+                write!(f, "undecodable frame received at node {node}: {detail}")
+            }
         }
     }
 }
@@ -63,16 +79,55 @@ pub struct LiveOutcome {
     pub messages: u64,
     /// Aggregated per-node counters.
     pub totals: NodeMetrics,
+    /// Per-node counters, indexed by node id.
+    pub per_node: Vec<NodeMetrics>,
+    /// Per-node order-sensitive digests of every counted probe — equal
+    /// digests mean equal match sets *in the same order* (see
+    /// [`dsj_core::JoinNode::match_digest`]).
+    pub match_digests: Vec<u64>,
     /// Real elapsed time from first arrival to quiescence.
     pub wall_time: Duration,
     /// Tuples processed per wall-clock second.
     pub tuples_per_sec: f64,
 }
 
-enum Event {
-    Arrival(Tuple),
-    Net { from: u16, msg: Msg },
-    Shutdown,
+/// [`Transport`] over in-process crossbeam channels: one receiver per
+/// node, a clone of every peer's sender.
+pub(crate) struct ChannelTransport {
+    me: u16,
+    rx: Receiver<TransportEvent>,
+    peers: Vec<Sender<TransportEvent>>,
+    in_flight: Arc<AtomicI64>,
+    epoch: Instant,
+}
+
+impl Transport for ChannelTransport {
+    type Error = LiveError;
+
+    fn send(&mut self, to: u16, msg: Msg) -> Result<(), LiveError> {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if self.peers[to as usize]
+            .send(TransportEvent::Net { from: self.me, msg })
+            .is_err()
+        {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            return Err(LiveError::ChannelClosed);
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Result<TransportEvent, LiveError> {
+        self.rx.recv().map_err(|_| LiveError::ChannelClosed)
+    }
+
+    fn now_us(&mut self) -> u64 {
+        // dsj-lint: allow(hot-path-opaque-call) — the live clock *is* wall time; it feeds only time-window eviction and the governor, never reproduced results
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn quiesce(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Runs [`dsj_core::JoinNode`]s as live threads.
@@ -86,7 +141,7 @@ pub struct LiveCluster;
 
 impl LiveCluster {
     /// Runs the configuration's full workload through a live threaded
-    /// cluster and reports the outcome.
+    /// cluster at full speed and reports the outcome.
     ///
     /// # Errors
     ///
@@ -94,6 +149,18 @@ impl LiveCluster {
     /// [`ClusterConfig::validate`] rejects; [`LiveError::NodePanicked`] if
     /// any node thread dies.
     pub fn run(cfg: &ClusterConfig) -> Result<LiveOutcome, LiveError> {
+        Self::run_paced(cfg, Pacing::Freerun)
+    }
+
+    /// Runs the configuration's workload with an explicit feeder
+    /// [`Pacing`]. [`Pacing::Lockstep`] makes the run deterministic and
+    /// bit-equal to the simulated backend's
+    /// [`ClusterConfig::run_lockstep`]; see the crate docs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LiveCluster::run`].
+    pub fn run_paced(cfg: &ClusterConfig, pacing: Pacing) -> Result<LiveOutcome, LiveError> {
         cfg.validate()?;
         let mut reg = obs::Registry::default();
         let n = cfg.n;
@@ -101,140 +168,41 @@ impl LiveCluster {
             reg.time_phase("workload", || (cfg.arrivals(), cfg.ground_truth_matches()));
 
         let spawn_started = Instant::now();
-        // One channel per node; every thread gets every sender.
-        let mut senders: Vec<Sender<Event>> = Vec::with_capacity(n as usize);
-        let mut receivers: Vec<Receiver<Event>> = Vec::with_capacity(n as usize);
+        let shared = Shared::new();
+        // One channel per node; every transport gets every sender.
+        let mut senders: Vec<Sender<TransportEvent>> = Vec::with_capacity(n as usize);
+        let mut receivers: Vec<Receiver<TransportEvent>> = Vec::with_capacity(n as usize);
         for _ in 0..n {
             let (tx, rx) = unbounded();
             senders.push(tx);
             receivers.push(rx);
         }
-        // Messages (of any kind) currently in channels.
-        let in_flight = Arc::new(AtomicI64::new(0));
-        let epoch = Instant::now();
-        let failures: Arc<Mutex<Vec<u16>>> = Arc::new(Mutex::new(Vec::new()));
-
         let mut handles = Vec::with_capacity(n as usize);
         for me in 0..n {
-            let rx = receivers[me as usize].clone();
-            let peers: Vec<Sender<Event>> = senders.clone();
-            let in_flight = Arc::clone(&in_flight);
-            let failures = Arc::clone(&failures);
-            let mut node = cfg.build_node(me);
-            handles.push(thread::spawn(move || {
-                loop {
-                    let Ok(event) = rx.recv() else {
-                        failures.lock().push(me);
-                        break;
-                    };
-                    match event {
-                        Event::Arrival(tuple) => {
-                            let now_us = epoch.elapsed().as_micros() as u64;
-                            for (peer, msg) in node.handle_arrival(tuple, now_us) {
-                                in_flight.fetch_add(1, Ordering::SeqCst);
-                                if peers[peer as usize]
-                                    .send(Event::Net { from: me, msg })
-                                    .is_err()
-                                {
-                                    in_flight.fetch_sub(1, Ordering::SeqCst);
-                                    failures.lock().push(me);
-                                }
-                            }
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        Event::Net { from, msg } => {
-                            node.handle_message(from, msg);
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        Event::Shutdown => break,
-                    }
-                }
-                node
-            }));
+            let transport = ChannelTransport {
+                me,
+                rx: receivers[me as usize].clone(),
+                peers: senders.clone(),
+                in_flight: Arc::clone(&shared.in_flight),
+                epoch: shared.epoch,
+            };
+            let engine = NodeEngine::new(cfg.build_node(me));
+            handles.push(harness::spawn_node(me, engine, transport, &shared));
         }
-
         reg.phase_add("spawn", spawn_started.elapsed());
 
-        // Feed arrivals in global order (per-channel FIFO keeps each
-        // node's sequence numbers ascending, as the windows require).
-        // Backpressure: cap the events in flight so slow consumers don't
-        // accumulate unbounded queues — unbounded backlog would let probe
-        // messages arrive long after their window contents were evicted,
-        // losing matches to staleness rather than to the algorithm.
-        let max_in_flight = 8 * i64::from(n);
-        let start = Instant::now();
-        for a in &arrivals {
-            while in_flight.load(Ordering::SeqCst) >= max_in_flight {
-                thread::yield_now();
-            }
-            in_flight.fetch_add(1, Ordering::SeqCst);
-            if senders[a.node as usize]
-                .send(Event::Arrival(a.tuple()))
-                .is_err()
-            {
-                return Err(LiveError::ChannelClosed);
-            }
-        }
-        reg.phase_add("inject", start.elapsed());
-
-        // Quiesce: wait until no events remain in any channel.
-        let drain_started = Instant::now();
-        while in_flight.load(Ordering::SeqCst) > 0 {
-            thread::yield_now();
-        }
-        let wall_time = start.elapsed();
-        reg.phase_add("drain", drain_started.elapsed());
-        for tx in &senders {
-            let _ = tx.send(Event::Shutdown);
-        }
-
-        let join_started = Instant::now();
-        let mut totals = NodeMetrics::default();
-        let mut nodes = Vec::with_capacity(n as usize);
-        for (id, h) in handles.into_iter().enumerate() {
-            match h.join() {
-                Ok(node) => nodes.push(node),
-                Err(_) => return Err(LiveError::NodePanicked(id as u16)),
-            }
-        }
-        if let Some(&id) = failures.lock().first() {
-            return Err(LiveError::NodePanicked(id));
-        }
-        for node in &nodes {
-            totals.absorb(node.metrics());
-        }
-        reg.phase_add("join", join_started.elapsed());
-        let reported_matches = totals.matches();
-        let epsilon = if truth_matches == 0 {
-            0.0
-        } else {
-            ((truth_matches as f64 - reported_matches as f64) / truth_matches as f64).max(0.0)
-        };
-        let secs = wall_time.as_secs_f64().max(1e-9);
-        let outcome = LiveOutcome {
+        harness::drive(
+            cfg,
+            pacing,
+            &mut reg,
+            &arrivals,
             truth_matches,
-            reported_matches,
-            epsilon,
-            messages: totals.tuple_msgs_sent + totals.summary_msgs_sent,
-            totals,
-            wall_time,
-            tuples_per_sec: arrivals.len() as f64 / secs,
-        };
-        if obs::enabled() {
-            reg.counter_add("runs", 1);
-            reg.counter_add("truth_matches", outcome.truth_matches);
-            reg.counter_add("reported_matches", outcome.reported_matches);
-            reg.counter_add("live.messages", outcome.messages);
-            reg.counter_add("tuples", arrivals.len() as u64);
-            reg.gauge_set("epsilon", outcome.epsilon);
-            reg.gauge_set("wall_time_secs", outcome.wall_time.as_secs_f64());
-            reg.gauge_set("tuples_per_sec", outcome.tuples_per_sec);
-            for (me, node) in nodes.iter().enumerate() {
-                node.metrics().record_into(&mut reg, me as u16);
-            }
-            obs::emit(reg);
-        }
-        Ok(outcome)
+            harness::Spawned {
+                shared,
+                senders,
+                handles,
+            },
+        )
     }
 }
 
@@ -336,5 +304,17 @@ mod tests {
         let b = LiveCluster::run(&quick(4, Algorithm::Dft)).unwrap();
         assert_eq!(a.totals.local_matches, b.totals.local_matches);
         assert_eq!(a.truth_matches, b.truth_matches);
+    }
+
+    #[test]
+    fn per_node_outcome_is_consistent_with_totals() {
+        let outcome = LiveCluster::run(&quick(4, Algorithm::Base)).unwrap();
+        assert_eq!(outcome.per_node.len(), 4);
+        assert_eq!(outcome.match_digests.len(), 4);
+        let mut totals = NodeMetrics::default();
+        for m in &outcome.per_node {
+            totals.absorb(m);
+        }
+        assert_eq!(totals, outcome.totals);
     }
 }

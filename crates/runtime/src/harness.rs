@@ -1,0 +1,216 @@
+//! The backend-independent half of a live cluster run.
+//!
+//! Both live backends (threads-over-channels in [`crate::LiveCluster`],
+//! sockets in [`crate::TcpCluster`]) share everything except how bytes
+//! move: one OS thread per node running [`NodeEngine::run`] over its
+//! transport, a feeder injecting the arrival schedule with backpressure,
+//! an in-flight event counter for quiescence detection, and the final
+//! aggregation into a [`LiveOutcome`]. That shared half lives here; the
+//! backends only construct their transports and hand the pieces over to
+//! [`drive`].
+//!
+//! # In-flight accounting
+//!
+//! A single cluster-wide `AtomicI64` counts events that have been produced
+//! but not fully processed. Producers (the feeder for arrivals, a
+//! transport's `send` for messages) increment *before* the event becomes
+//! visible; the engine's `quiesce` hook decrements *after* the event's
+//! processing — including any sends it triggered, which were counted
+//! first — so the counter can only read zero when the cluster is globally
+//! idle. The same counter provides feeder backpressure: [`Pacing::Freerun`]
+//! caps the backlog so probes can't go stale behind an unbounded queue,
+//! [`Pacing::Lockstep`] drains to zero between arrivals, making the event
+//! order — and therefore every router decision — identical across
+//! backends, including the deterministic simulation.
+
+use crate::cluster::{LiveError, LiveOutcome};
+use crossbeam::channel::Sender;
+use dsj_core::obs;
+use dsj_core::{ClusterConfig, NodeEngine, NodeMetrics, Transport, TransportEvent};
+use dsj_stream::gen::Arrival;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// How the feeder paces arrivals into a live cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Inject as fast as backpressure allows (a bounded event backlog).
+    /// Maximum throughput; remote probe timing races benignly.
+    Freerun,
+    /// Drain the cluster to quiescence between consecutive arrivals.
+    /// Slow, but the global event order becomes deterministic — the mode
+    /// under which every backend (simulated included) is provably
+    /// equivalent.
+    Lockstep,
+}
+
+/// State shared between the feeder, the node threads and the reader
+/// threads of one live run.
+pub(crate) struct Shared {
+    /// Events produced but not yet fully processed, cluster-wide.
+    pub in_flight: Arc<AtomicI64>,
+    /// First-failure-wins error reporting from any thread.
+    pub failures: Arc<Mutex<Vec<LiveError>>>,
+    /// Cluster start; live transports report clocks relative to it.
+    pub epoch: Instant,
+}
+
+impl Shared {
+    pub fn new() -> Self {
+        Shared {
+            in_flight: Arc::new(AtomicI64::new(0)),
+            failures: Arc::new(Mutex::new(Vec::new())),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn first_failure(&self) -> Option<LiveError> {
+        self.failures.lock().first().cloned()
+    }
+}
+
+/// Spawns node `me`'s thread: the engine's drive loop over `transport`,
+/// with failures reported through the shared state.
+pub(crate) fn spawn_node<T>(
+    me: u16,
+    engine: NodeEngine,
+    mut transport: T,
+    shared: &Shared,
+) -> JoinHandle<NodeEngine>
+where
+    T: Transport<Error = LiveError> + Send + 'static,
+{
+    let failures = Arc::clone(&shared.failures);
+    thread::spawn(move || {
+        let mut engine = engine;
+        if let Err(e) = engine.run(&mut transport) {
+            failures.lock().push(e);
+            let _ = me;
+        }
+        engine
+    })
+}
+
+/// A spawned (but not yet fed) live cluster, backend-independent from
+/// here on: per-node event queues (arrivals and shutdown go this way on
+/// every backend), node threads in id order, and the shared run state.
+pub(crate) struct Spawned {
+    /// Shared feeder/node/reader state.
+    pub shared: Shared,
+    /// Per-node event queues.
+    pub senders: Vec<Sender<TransportEvent>>,
+    /// Node threads, in id order.
+    pub handles: Vec<JoinHandle<NodeEngine>>,
+}
+
+/// Feeds the arrival schedule, waits for quiescence, shuts the node
+/// threads down and aggregates their engines into a [`LiveOutcome`].
+pub(crate) fn drive(
+    cfg: &ClusterConfig,
+    pacing: Pacing,
+    reg: &mut obs::Registry,
+    arrivals: &[Arrival],
+    truth_matches: u64,
+    cluster: Spawned,
+) -> Result<LiveOutcome, LiveError> {
+    let Spawned {
+        shared,
+        senders,
+        handles,
+    } = cluster;
+    // Feed arrivals in global order (per-channel FIFO keeps each node's
+    // sequence numbers ascending, as the windows require). Freerun caps
+    // the events in flight so slow consumers don't accumulate unbounded
+    // queues — unbounded backlog would let probe messages arrive long
+    // after their window contents were evicted, losing matches to
+    // staleness rather than to the algorithm. Lockstep waits for zero:
+    // every arrival's full causal cone lands before the next moves.
+    let threshold = match pacing {
+        Pacing::Freerun => 8 * i64::from(cfg.n),
+        Pacing::Lockstep => 1,
+    };
+    let start = Instant::now();
+    for a in arrivals {
+        while shared.in_flight.load(Ordering::SeqCst) >= threshold {
+            if let Some(e) = shared.first_failure() {
+                return Err(e);
+            }
+            thread::yield_now();
+        }
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        if senders[a.node as usize]
+            .send(TransportEvent::Arrival(a.tuple()))
+            .is_err()
+        {
+            return Err(LiveError::ChannelClosed);
+        }
+    }
+    reg.phase_add("inject", start.elapsed());
+
+    // Quiesce: wait until no events remain anywhere in the cluster.
+    let drain_started = Instant::now();
+    while shared.in_flight.load(Ordering::SeqCst) > 0 {
+        if let Some(e) = shared.first_failure() {
+            return Err(e);
+        }
+        thread::yield_now();
+    }
+    let wall_time = start.elapsed();
+    reg.phase_add("drain", drain_started.elapsed());
+    for tx in senders {
+        let _ = tx.send(TransportEvent::Shutdown);
+    }
+
+    let join_started = Instant::now();
+    let mut engines = Vec::with_capacity(handles.len());
+    for (id, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(engine) => engines.push(engine),
+            Err(_) => return Err(LiveError::NodePanicked(id as u16)),
+        }
+    }
+    if let Some(e) = shared.first_failure() {
+        return Err(e);
+    }
+    let mut totals = NodeMetrics::default();
+    for engine in &engines {
+        totals.absorb(engine.metrics());
+    }
+    reg.phase_add("join", join_started.elapsed());
+    let reported_matches = totals.matches();
+    let epsilon = if truth_matches == 0 {
+        0.0
+    } else {
+        ((truth_matches as f64 - reported_matches as f64) / truth_matches as f64).max(0.0)
+    };
+    let secs = wall_time.as_secs_f64().max(1e-9);
+    let outcome = LiveOutcome {
+        truth_matches,
+        reported_matches,
+        epsilon,
+        messages: totals.tuple_msgs_sent + totals.summary_msgs_sent,
+        totals,
+        per_node: engines.iter().map(|e| *e.metrics()).collect(),
+        match_digests: engines.iter().map(NodeEngine::match_digest).collect(),
+        wall_time,
+        tuples_per_sec: arrivals.len() as f64 / secs,
+    };
+    if obs::enabled() {
+        reg.counter_add("runs", 1);
+        reg.counter_add("truth_matches", outcome.truth_matches);
+        reg.counter_add("reported_matches", outcome.reported_matches);
+        reg.counter_add("live.messages", outcome.messages);
+        reg.counter_add("tuples", arrivals.len() as u64);
+        reg.gauge_set("epsilon", outcome.epsilon);
+        reg.gauge_set("wall_time_secs", outcome.wall_time.as_secs_f64());
+        reg.gauge_set("tuples_per_sec", outcome.tuples_per_sec);
+        for (me, engine) in engines.iter().enumerate() {
+            engine.metrics().record_into(reg, me as u16);
+        }
+        obs::emit(std::mem::take(reg));
+    }
+    Ok(outcome)
+}

@@ -1,17 +1,26 @@
-//! Live threaded cluster runtime.
+//! Live cluster runtimes: real threads, real sockets.
 //!
 //! The paper evaluated a *working prototype*: twenty processes exchanging
 //! real messages. `dsj-simnet` reproduces its network model as a
 //! deterministic discrete-event simulation; this crate runs the very same
-//! node logic ([`dsj_core::JoinNode`], via its transport-agnostic
-//! `handle_arrival`/`handle_message` methods) as **real concurrent
-//! threads** exchanging messages over channels — one OS thread per node, a
-//! crossbeam channel per directed link, wall-clock timing.
+//! node logic (a [`dsj_core::NodeEngine`] speaking only the
+//! [`dsj_core::Transport`] trait) as **real concurrent threads** — one OS
+//! thread per node, wall-clock timing — over two interchangeable
+//! backends:
+//!
+//! * [`LiveCluster`] — crossbeam channels as links: concurrency
+//!   correctness and raw in-process speed.
+//! * [`TcpCluster`] — loopback TCP sockets as links, every message framed
+//!   by the [`dsj_core::wire`] codec: serialization, syscalls and stream
+//!   reassembly are all real.
 //!
 //! Use the simulation for reproducible experiments and figure
-//! regeneration; use this runtime to demonstrate that the algorithms and
-//! their data structures are `Send`, contention-safe and fast enough to
-//! process hundreds of thousands of tuples per second of *real* time.
+//! regeneration; use these runtimes to demonstrate that the algorithms
+//! and their data structures are `Send`, contention-safe and fast enough
+//! to process hundreds of thousands of tuples per second of *real* time.
+//! Under [`Pacing::Lockstep`] all three backends — simulated, channels,
+//! TCP — produce identical per-node results for the same configuration
+//! (see `tests/equivalence.rs`).
 //!
 //! ```
 //! use dsj_core::{Algorithm, ClusterConfig};
@@ -31,5 +40,9 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod harness;
+mod tcp;
 
 pub use cluster::{LiveCluster, LiveError, LiveOutcome};
+pub use harness::Pacing;
+pub use tcp::TcpCluster;

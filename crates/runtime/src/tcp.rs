@@ -1,0 +1,431 @@
+//! N nodes over real loopback TCP sockets, framed with the wire codec.
+//!
+//! The topology is a full mesh of *directed* socket pairs: node `i`
+//! connects one `TcpStream` to every peer `j`'s listener and uses it for
+//! `i → j` traffic only. After `connect`, the dialer writes a two-byte
+//! little-endian handshake naming itself, so the accepting side knows
+//! which peer the bytes on that socket come from without trusting
+//! ephemeral port numbers. Each accepted socket gets a reader thread that
+//! reassembles codec frames ([`dsj_core::wire::FrameDecoder`]) from the
+//! byte stream — frames arrive split and coalesced at TCP's whim — and
+//! forwards decoded messages into the owning node's event channel, where
+//! they meet arrivals injected by the feeder. Node threads, feeder
+//! backpressure, quiescence detection and aggregation are the
+//! backend-independent harness shared with [`crate::LiveCluster`].
+//!
+//! Everything stays on `127.0.0.1` with OS-assigned ports; nothing binds
+//! a routable interface.
+
+use crate::cluster::{LiveError, LiveOutcome};
+use crate::harness::{self, Pacing, Shared};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dsj_core::obs;
+use dsj_core::wire::{self, FrameDecoder};
+use dsj_core::{ClusterConfig, Msg, NodeEngine, Transport, TransportEvent};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// Read-buffer size for socket reader threads.
+const READ_CHUNK: usize = 16 * 1024;
+
+fn io_err(node: u16, e: &std::io::Error) -> LiveError {
+    LiveError::Io {
+        node,
+        detail: e.to_string(),
+    }
+}
+
+/// [`Transport`] over per-peer TCP sockets: decoded inbound traffic and
+/// feeder arrivals share one channel; outbound messages are encoded into
+/// a reused scratch buffer and written to the peer's socket.
+struct TcpTransport {
+    me: u16,
+    rx: Receiver<TransportEvent>,
+    /// `writers[j]` is the `me → j` socket; `None` at `j == me`.
+    writers: Vec<Option<TcpStream>>,
+    in_flight: Arc<AtomicI64>,
+    epoch: Instant,
+    /// Encode scratch, reused across sends.
+    buf: Vec<u8>,
+}
+
+impl Transport for TcpTransport {
+    type Error = LiveError;
+
+    fn send(&mut self, to: u16, msg: Msg) -> Result<(), LiveError> {
+        self.buf.clear();
+        wire::encode_into(&msg, &mut self.buf);
+        // Count the message in flight before any byte becomes visible to
+        // the peer, so the cluster-wide counter never under-reports.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let stream = match self.writers.get_mut(to as usize) {
+            Some(Some(stream)) => stream,
+            _ => {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return Err(LiveError::Io {
+                    node: self.me,
+                    detail: format!("no socket from node {} to peer {to}", self.me),
+                });
+            }
+        };
+        if let Err(e) = stream.write_all(&self.buf) {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            return Err(io_err(self.me, &e));
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Result<TransportEvent, LiveError> {
+        self.rx.recv().map_err(|_| LiveError::ChannelClosed)
+    }
+
+    fn now_us(&mut self) -> u64 {
+        // dsj-lint: allow(hot-path-opaque-call) — the live clock *is* wall time; it feeds only time-window eviction and the governor, never reproduced results
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn quiesce(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Reader half of one directed link: reassembles frames from `stream`
+/// (bytes sent by `from`) and forwards decoded messages to node
+/// `to_node`'s event channel.
+///
+/// Returns when the peer closes the socket (normal shutdown), the event
+/// channel closes (the node is gone), or a fatal error is recorded in
+/// `failures`. Decode errors are fatal for the link, not resynchronized:
+/// after garbage, frame boundaries are unknowable.
+pub(crate) fn pump_frames(
+    mut stream: TcpStream,
+    from: u16,
+    to_node: u16,
+    tx: &Sender<TransportEvent>,
+    failures: &Mutex<Vec<LiveError>>,
+) {
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        let nread = match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed: normal shutdown
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                failures.lock().push(io_err(to_node, &e));
+                return;
+            }
+        };
+        decoder.feed(&chunk[..nread]);
+        loop {
+            match decoder.next_msg() {
+                Ok(Some(msg)) => {
+                    if tx.send(TransportEvent::Net { from, msg }).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break, // need more bytes
+                Err(e) => {
+                    failures.lock().push(LiveError::Decode {
+                        node: to_node,
+                        detail: e.to_string(),
+                    });
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Opens node `me`'s listener-side sockets: accepts `expect` connections,
+/// reads each dialer's two-byte handshake, and spawns a [`pump_frames`]
+/// reader per link feeding `tx`.
+fn accept_links(
+    listener: TcpListener,
+    me: u16,
+    expect: usize,
+    tx: Sender<TransportEvent>,
+    failures: Arc<Mutex<Vec<LiveError>>>,
+) -> Result<(), LiveError> {
+    for _ in 0..expect {
+        let (mut stream, _) = listener.accept().map_err(|e| io_err(me, &e))?;
+        stream.set_nodelay(true).map_err(|e| io_err(me, &e))?;
+        let mut hello = [0u8; 2];
+        stream.read_exact(&mut hello).map_err(|e| io_err(me, &e))?;
+        let from = u16::from_le_bytes(hello);
+        let tx = tx.clone();
+        let failures = Arc::clone(&failures);
+        thread::spawn(move || pump_frames(stream, from, me, &tx, &failures));
+    }
+    Ok(())
+}
+
+/// Runs [`dsj_core::JoinNode`]s as live threads joined by real loopback
+/// TCP sockets carrying [`dsj_core::wire`]-framed messages.
+///
+/// Same concurrency structure as [`crate::LiveCluster`], but every
+/// inter-node message round-trips through the binary codec and the
+/// kernel's TCP stack — serialization cost, syscalls, stream
+/// fragmentation and reassembly are all real.
+pub struct TcpCluster;
+
+impl TcpCluster {
+    /// Runs the configuration's full workload over loopback TCP at full
+    /// speed and reports the outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Config`] for invalid configurations;
+    /// [`LiveError::Io`] / [`LiveError::Decode`] for socket-level
+    /// failures; [`LiveError::NodePanicked`] if a node thread dies.
+    pub fn run(cfg: &ClusterConfig) -> Result<LiveOutcome, LiveError> {
+        Self::run_paced(cfg, Pacing::Freerun)
+    }
+
+    /// Runs the configuration's workload with an explicit feeder
+    /// [`Pacing`]. [`Pacing::Lockstep`] makes the run deterministic and
+    /// equal, node for node, to the other two backends.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpCluster::run`].
+    pub fn run_paced(cfg: &ClusterConfig, pacing: Pacing) -> Result<LiveOutcome, LiveError> {
+        cfg.validate()?;
+        let mut reg = obs::Registry::default();
+        let n = cfg.n as usize;
+        let (arrivals, truth_matches) =
+            reg.time_phase("workload", || (cfg.arrivals(), cfg.ground_truth_matches()));
+
+        let spawn_started = Instant::now();
+        let shared = Shared::new();
+        let mut senders: Vec<Sender<TransportEvent>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<TransportEvent>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        // Bind every node's listener first so peers can dial in any order.
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+        for me in 0..n {
+            let listener =
+                TcpListener::bind(("127.0.0.1", 0)).map_err(|e| io_err(me as u16, &e))?;
+            addrs.push(listener.local_addr().map_err(|e| io_err(me as u16, &e))?);
+            listeners.push(listener);
+        }
+
+        // Accept threads: each node takes n−1 inbound links and spawns a
+        // frame reader per link.
+        let mut acceptors = Vec::with_capacity(n);
+        for (me, listener) in listeners.into_iter().enumerate() {
+            let tx = senders[me].clone();
+            let failures = Arc::clone(&shared.failures);
+            acceptors.push(thread::spawn(move || {
+                accept_links(listener, me as u16, n - 1, tx, failures)
+            }));
+        }
+
+        // Dial the full mesh: writers[i][j] carries i → j.
+        let mut writers: Vec<Vec<Option<TcpStream>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for (i, row) in writers.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let mut stream = TcpStream::connect(addrs[j]).map_err(|e| io_err(i as u16, &e))?;
+                stream.set_nodelay(true).map_err(|e| io_err(i as u16, &e))?;
+                stream
+                    .write_all(&(i as u16).to_le_bytes())
+                    .map_err(|e| io_err(i as u16, &e))?;
+                *slot = Some(stream);
+            }
+        }
+        // All dials completed, so every acceptor can finish; join them to
+        // guarantee every reader thread is live before traffic starts.
+        for acceptor in acceptors {
+            match acceptor.join() {
+                Ok(result) => result?,
+                Err(_) => return Err(LiveError::ChannelClosed),
+            }
+        }
+
+        let mut handles = Vec::with_capacity(n);
+        for (me, row) in writers.into_iter().enumerate() {
+            let transport = TcpTransport {
+                me: me as u16,
+                rx: receivers[me].clone(),
+                writers: row,
+                in_flight: Arc::clone(&shared.in_flight),
+                epoch: shared.epoch,
+                buf: Vec::with_capacity(1024),
+            };
+            let engine = NodeEngine::new(cfg.build_node(me as u16));
+            handles.push(harness::spawn_node(me as u16, engine, transport, &shared));
+        }
+        reg.phase_add("spawn", spawn_started.elapsed());
+
+        harness::drive(
+            cfg,
+            pacing,
+            &mut reg,
+            &arrivals,
+            truth_matches,
+            harness::Spawned {
+                shared,
+                senders,
+                handles,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsj_core::Algorithm;
+    use dsj_stream::gen::WorkloadKind;
+
+    fn quick(n: u16, algorithm: Algorithm) -> ClusterConfig {
+        ClusterConfig::new(n, algorithm)
+            .window(128)
+            .domain(1 << 9)
+            .tuples(2_000)
+            .workload(WorkloadKind::Zipf { alpha: 0.4 })
+            .seed(7)
+    }
+
+    #[test]
+    fn base_tcp_cluster_is_nearly_exact() {
+        let outcome = TcpCluster::run(&quick(4, Algorithm::Base)).unwrap();
+        assert!(
+            outcome.epsilon < 0.02,
+            "eps {} ({} of {})",
+            outcome.epsilon,
+            outcome.reported_matches,
+            outcome.truth_matches
+        );
+        assert!(outcome.messages > 0);
+    }
+
+    #[test]
+    fn all_algorithms_run_over_tcp() {
+        for algorithm in Algorithm::ALL {
+            let outcome = TcpCluster::run(&quick(3, algorithm)).unwrap();
+            assert!(
+                (0.0..=1.0).contains(&outcome.epsilon),
+                "{algorithm}: {}",
+                outcome.epsilon
+            );
+        }
+    }
+
+    #[test]
+    fn tcp_run_emits_observation_record_with_phases() {
+        let collector = obs::Collector::install();
+        let cfg = quick(3, Algorithm::Dft);
+        let outcome = obs::scoped("tcp", 2, || TcpCluster::run(&cfg).unwrap());
+        let records = collector.drain();
+        assert_eq!(records.len(), 1);
+        let reg = &records[0].registry;
+        assert_eq!(reg.counter("live.messages"), outcome.messages);
+        for phase in ["workload", "spawn", "inject", "drain", "join"] {
+            assert!(reg.phase(phase).is_some(), "missing phase {phase}");
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected_before_binding() {
+        let err = TcpCluster::run(&quick(1, Algorithm::Base)).unwrap_err();
+        assert_eq!(err, LiveError::Config(dsj_core::RunError::TooFewNodes(1)));
+    }
+
+    #[test]
+    fn corrupt_frame_on_the_socket_is_a_typed_error_not_a_panic() {
+        // Drive the reader half of one link directly over a real socket
+        // and feed it garbage: a well-formed length prefix followed by a
+        // body with an unknown version nibble.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = unbounded();
+        let failures: Arc<Mutex<Vec<LiveError>>> = Arc::new(Mutex::new(Vec::new()));
+        let reader = {
+            let failures = Arc::clone(&failures);
+            thread::spawn(move || {
+                let (stream, _) = listener.accept().unwrap();
+                pump_frames(stream, 1, 0, &tx, &failures);
+            })
+        };
+        let mut dialer = TcpStream::connect(addr).unwrap();
+        // One valid frame first: the link decodes it and forwards it.
+        let valid = wire::encode(&Msg::Tuple {
+            tuple: dsj_stream::Tuple::new(dsj_stream::StreamId::R, 42, 7, 1),
+            piggyback: Vec::new(),
+        });
+        dialer.write_all(&valid).unwrap();
+        // Then a corrupt one: version nibble 0xF is not the codec's.
+        dialer.write_all(&[1, 0, 0, 0, 0xF0]).unwrap();
+        dialer.flush().unwrap();
+        reader.join().unwrap();
+        match rx.try_recv() {
+            Some(TransportEvent::Net { from: 1, msg }) => {
+                assert_eq!(msg.wire_bytes(), valid.len());
+            }
+            other => panic!("expected the valid frame first, got {other:?}"),
+        }
+        let recorded = failures.lock();
+        assert_eq!(recorded.len(), 1);
+        assert!(
+            matches!(&recorded[0], LiveError::Decode { node: 0, .. }),
+            "{recorded:?}"
+        );
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_affect_decoding() {
+        // Byte-at-a-time delivery across the socket still reassembles the
+        // exact message stream.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = unbounded();
+        let failures: Arc<Mutex<Vec<LiveError>>> = Arc::new(Mutex::new(Vec::new()));
+        let reader = {
+            let failures = Arc::clone(&failures);
+            thread::spawn(move || {
+                let (stream, _) = listener.accept().unwrap();
+                pump_frames(stream, 2, 0, &tx, &failures);
+            })
+        };
+        let mut dialer = TcpStream::connect(addr).unwrap();
+        dialer.set_nodelay(true).unwrap();
+        let msgs: Vec<Msg> = (0..5)
+            .map(|i| Msg::Tuple {
+                tuple: dsj_stream::Tuple::new(dsj_stream::StreamId::S, i, u64::from(i), 3),
+                piggyback: Vec::new(),
+            })
+            .collect();
+        for msg in &msgs {
+            for byte in wire::encode(msg) {
+                dialer.write_all(&[byte]).unwrap();
+            }
+        }
+        drop(dialer);
+        reader.join().unwrap();
+        assert!(failures.lock().is_empty());
+        for expected in &msgs {
+            match rx.try_recv() {
+                Some(TransportEvent::Net { from: 2, msg }) => {
+                    assert_eq!(wire::encode(&msg), wire::encode(expected));
+                }
+                other => panic!("missing message, got {other:?}"),
+            }
+        }
+    }
+}

@@ -149,6 +149,44 @@ impl AgmsSketch {
         }
     }
 
+    /// Rebuilds a sketch from its wire representation: the counter vector
+    /// plus the `(s0, s1, seed, total_updates)` parameters. Hash functions
+    /// are re-derived, so a reconstructed sketch is bit-identical to the
+    /// one that was serialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s0 == 0`, `s1 == 0` or `counters.len() != s0 * s1`; wire
+    /// decoders validate before calling.
+    pub fn from_parts(
+        s0: usize,
+        s1: usize,
+        seed: u64,
+        counters: Vec<i64>,
+        total_updates: u64,
+    ) -> Self {
+        assert!(s0 > 0 && s1 > 0, "sketch dimensions must be positive");
+        assert!(
+            counters.len() == s0 * s1,
+            "counter vector must be s0 * s1 long"
+        );
+        let hashes = Self::derive_hashes(s0, s1, seed);
+        AgmsSketch {
+            s0,
+            s1,
+            seed,
+            counters,
+            hashes,
+            total_updates,
+        }
+    }
+
+    /// The raw counter vector, in index order (the wire representation).
+    #[inline]
+    pub fn counter_values(&self) -> &[i64] {
+        &self.counters
+    }
+
     fn check_compatible(&self, other: &AgmsSketch) -> Result<(), SketchMismatchError> {
         if self.s0 != other.s0 || self.s1 != other.s1 || self.seed != other.seed {
             return Err(SketchMismatchError {

@@ -134,6 +134,33 @@ impl CountingBloomFilter {
         }
     }
 
+    /// Rebuilds a filter from its wire representation: the counter vector
+    /// plus the `(k, seed, items)` parameters. Hash functions are
+    /// re-derived, so a reconstructed filter is bit-identical to the one
+    /// that was serialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters` is empty or `k == 0` (the same contract as
+    /// [`CountingBloomFilter::new`]); wire decoders validate before calling.
+    pub fn from_parts(k: usize, seed: u64, counters: Vec<u32>, items: u64) -> Self {
+        assert!(!counters.is_empty(), "filter must have counters");
+        assert!(k > 0, "filter must have hash functions");
+        CountingBloomFilter {
+            counters,
+            k,
+            seed,
+            hashes: Self::derive_hashes(k, seed),
+            items,
+        }
+    }
+
+    /// The raw counter vector, in index order (the wire representation).
+    #[inline]
+    pub fn counter_values(&self) -> &[u32] {
+        &self.counters
+    }
+
     /// Inserts a value (increments its `k` counters).
     pub fn insert(&mut self, v: u64) {
         let m = self.counters.len() as u64;

@@ -1,7 +1,7 @@
 # Development workflow. `just ci` mirrors .github/workflows/ci.yml.
 
 # Everything CI runs, in CI order.
-ci: fmt-check clippy lint doc tier1 test-workspace repro-smoke
+ci: fmt-check clippy lint doc tier1 test-workspace repro-smoke live-smoke
 
 # Formatting gate.
 fmt-check:
@@ -48,11 +48,25 @@ repro-smoke:
     diff /tmp/dsjoin_out_j1.txt /tmp/dsjoin_out_j4.txt
     test "$(wc -l < /tmp/dsjoin_metrics_j4.jsonl)" -eq 2
 
+# Live runtimes: cross-backend lockstep equivalence (simnet = threads =
+# TCP, all five strategies) plus a real socket run of the flagship
+# algorithm.
+live-smoke:
+    cargo test -q -p dsj-runtime
+    cargo build --release -p dsj-runtime --example live_tcp
+    ./target/release/examples/live_tcp 4 10000 dftt
+
+# Run a workload over real loopback TCP sockets with codec-framed
+# messages, e.g. `just live-tcp 5 50000 bloom lockstep`.
+live-tcp n="4" tuples="20000" algorithm="dftt" pacing="freerun":
+    cargo build --release -p dsj-runtime --example live_tcp
+    ./target/release/examples/live_tcp {{n}} {{tuples}} {{algorithm}} {{pacing}}
+
 # Full hot-path throughput suite (micro ns/op + macro tuples/sec for every
-# strategy at N ∈ {4, 16}); records the trajectory in BENCH_pr3.json.
+# strategy at N ∈ {4, 16}); records the trajectory in BENCH_pr5.json.
 bench:
     cargo build --release -p dsj-bench --bin dsj-bench
-    ./target/release/dsj-bench --out BENCH_pr3.json
+    ./target/release/dsj-bench --out BENCH_pr5.json
 
 # CI-sized bench run — fewer iterations, same record schema.
 bench-quick:
