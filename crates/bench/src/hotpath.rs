@@ -407,7 +407,7 @@ pub fn run_suite(quick: bool, only: Option<&str>) -> Vec<BenchRecord> {
             records.push(bench(micro));
         }
     }
-    for n in [4u16, 16] {
+    for n in [4u16, 16, 32] {
         for algorithm in strategies {
             if wanted("macro.simnet", Some(algorithm.label())) {
                 records.push(bench_macro_simnet(algorithm, n, tuples));

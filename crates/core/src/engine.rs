@@ -28,6 +28,15 @@ use dsj_simnet::{Ctx, NodeId, SimNode};
 use dsj_stream::Tuple;
 use std::convert::Infallible;
 
+/// Upper bound on how many pending events the run loop drains per frame.
+///
+/// Frames amortize per-event transport overhead (one clock read for every
+/// arrival in the frame, one socket flush per peer per frame) without
+/// changing behavior: events inside a frame run through the same per-event
+/// logic in arrival order, so routing decisions are identical whatever the
+/// frame boundaries (pinned by `crates/core/tests/batching.rs`).
+pub const FRAME_MAX: usize = 64;
+
 /// What a transport hands the engine next.
 #[derive(Debug)]
 pub enum TransportEvent {
@@ -74,6 +83,39 @@ pub trait Transport {
     ///
     /// Transport-specific receive failure (e.g. every sender dropped).
     fn poll(&mut self) -> Result<TransportEvent, Self::Error>;
+
+    /// Blocks for at least one event, then drains up to `max` total events
+    /// into `frame` without blocking again.
+    ///
+    /// The default forwards a single blocking [`Transport::poll`], so
+    /// transports that have no cheap "is anything pending?" probe degrade
+    /// to one-event frames. Backends with non-blocking receive (channels,
+    /// sockets) override this to hand the engine a whole backlog at once.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific receive failure (e.g. every sender dropped).
+    fn poll_frame(
+        &mut self,
+        max: usize,
+        frame: &mut Vec<TransportEvent>,
+    ) -> Result<(), Self::Error> {
+        debug_assert!(max >= 1, "a frame must admit at least one event");
+        frame.push(self.poll()?);
+        Ok(())
+    }
+
+    /// Pushes any outgoing bytes buffered by [`Transport::send`] to the
+    /// wire. The run loop calls this once per frame, after every event in
+    /// the frame has been processed; unbuffered transports keep the no-op
+    /// default.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific delivery failure.
+    fn flush(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
 
     /// This node's clock, in microseconds. Virtual time under simulation,
     /// wall time since cluster start for live backends.
@@ -151,6 +193,18 @@ impl NodeEngine {
         transport: &mut T,
     ) -> Result<(), T::Error> {
         let now_us = transport.now_us();
+        self.arrival_at(tuple, now_us, transport)
+    }
+
+    /// The shared arrival core: runs the per-tuple hot path at an already
+    /// sampled timestamp and fans the produced messages into `transport`.
+    // dsj-lint: hot-path
+    fn arrival_at<T: Transport>(
+        &mut self,
+        tuple: Tuple,
+        now_us: u64,
+        transport: &mut T,
+    ) -> Result<(), T::Error> {
         let mut out = std::mem::take(&mut self.out);
         self.node.handle_arrival_into(tuple, now_us, &mut out);
         let mut result = Ok(());
@@ -169,24 +223,67 @@ impl NodeEngine {
         self.node.handle_message(from, msg);
     }
 
-    /// The drive loop for polling transports: processes events until
+    /// Processes one frame of events in arrival order, quiescing after
+    /// each. Returns `true` when the frame contained
     /// [`TransportEvent::Shutdown`].
+    ///
+    /// Every event runs through the same per-event logic as the unbatched
+    /// loop, so routing decisions are independent of how events were
+    /// grouped into frames; the only frame-level amortization is the clock,
+    /// which is sampled once for all arrivals in the frame.
     ///
     /// # Errors
     ///
-    /// The first transport failure, from [`Transport::poll`] or a send.
-    pub fn run<T: Transport>(&mut self, transport: &mut T) -> Result<(), T::Error> {
-        loop {
-            match transport.poll()? {
+    /// The first [`Transport::send`] failure; the rest of the frame is
+    /// dropped (the run is aborting anyway).
+    // dsj-lint: hot-path
+    pub fn on_frame<T: Transport>(
+        &mut self,
+        frame: &mut Vec<TransportEvent>,
+        transport: &mut T,
+    ) -> Result<bool, T::Error> {
+        let mut frame_now_us = None;
+        for event in frame.drain(..) {
+            match event {
                 TransportEvent::Arrival(tuple) => {
-                    self.on_arrival(tuple, transport)?;
+                    let now_us = match frame_now_us {
+                        Some(now_us) => now_us,
+                        None => {
+                            let now_us = transport.now_us();
+                            frame_now_us = Some(now_us);
+                            now_us
+                        }
+                    };
+                    self.arrival_at(tuple, now_us, transport)?;
                     transport.quiesce();
                 }
                 TransportEvent::Net { from, msg } => {
-                    self.on_net(from, msg);
+                    // dsj-lint: allow(hot-path-opaque-call) — summary application is the amortized control path (runs once per sync interval or piggyback, not per tuple); its allocations are by design
+                    self.node.handle_message(from, msg);
                     transport.quiesce();
                 }
-                TransportEvent::Shutdown => return Ok(()),
+                TransportEvent::Shutdown => return Ok(true),
+            }
+        }
+        Ok(false)
+    }
+
+    /// The drive loop for polling transports: drains events in frames of up
+    /// to [`FRAME_MAX`] until [`TransportEvent::Shutdown`], flushing any
+    /// buffered sends once per frame.
+    ///
+    /// # Errors
+    ///
+    /// The first transport failure, from [`Transport::poll_frame`], a send,
+    /// or [`Transport::flush`].
+    pub fn run<T: Transport>(&mut self, transport: &mut T) -> Result<(), T::Error> {
+        let mut frame = Vec::with_capacity(FRAME_MAX);
+        loop {
+            transport.poll_frame(FRAME_MAX, &mut frame)?;
+            let shutdown = self.on_frame(&mut frame, transport)?;
+            transport.flush()?;
+            if shutdown {
+                return Ok(());
             }
         }
     }
@@ -306,6 +403,82 @@ mod tests {
         assert_eq!(eng.metrics().arrivals, 1);
         // Both processed events were quiesced; shutdown is not an event.
         assert_eq!(tx.quiesced, 2);
+    }
+
+    /// A batching transcript transport: drains its whole backlog per
+    /// frame and counts flushes.
+    struct BatchScript {
+        inner: Script,
+        flushes: u32,
+    }
+
+    impl Transport for BatchScript {
+        type Error = Infallible;
+        fn send(&mut self, to: u16, msg: Msg) -> Result<(), Infallible> {
+            self.inner.send(to, msg)
+        }
+        fn poll(&mut self) -> Result<TransportEvent, Infallible> {
+            self.inner.poll()
+        }
+        fn poll_frame(
+            &mut self,
+            max: usize,
+            frame: &mut Vec<TransportEvent>,
+        ) -> Result<(), Infallible> {
+            frame.push(self.inner.poll()?);
+            while frame.len() < max {
+                match self.inner.events.pop_front() {
+                    Some(event) => frame.push(event),
+                    None => break,
+                }
+            }
+            Ok(())
+        }
+        fn now_us(&mut self) -> u64 {
+            self.inner.now_us()
+        }
+        fn quiesce(&mut self) {
+            self.inner.quiesce()
+        }
+        fn flush(&mut self) -> Result<(), Infallible> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn framed_run_batches_events_and_flushes_once_per_frame() {
+        let mut eng = engine(0, 3);
+        let mut tx = BatchScript {
+            inner: Script::default(),
+            flushes: 0,
+        };
+        tx.inner
+            .events
+            .push_back(TransportEvent::Arrival(Tuple::new(StreamId::R, 5, 0, 0)));
+        tx.inner
+            .events
+            .push_back(TransportEvent::Arrival(Tuple::new(StreamId::R, 6, 1, 0)));
+        tx.inner.events.push_back(TransportEvent::Net {
+            from: 1,
+            msg: Msg::Tuple {
+                tuple: Tuple::new(StreamId::S, 5, 2, 1),
+                piggyback: Vec::new(),
+            },
+        });
+        tx.inner.events.push_back(TransportEvent::Shutdown);
+        eng.run(&mut tx).unwrap();
+        // The whole backlog fits one frame: both arrivals share a single
+        // clock sample and the frame is flushed exactly once.
+        assert_eq!(tx.inner.clock_us, 7);
+        assert_eq!(tx.flushes, 1);
+        // Each processed event quiesced; shutdown is not an event.
+        assert_eq!(tx.inner.quiesced, 3);
+        // Base broadcasts both arrivals to both peers...
+        assert_eq!(tx.inner.sent.len(), 4);
+        // ...and the forwarded probe still finds the stored R tuple.
+        assert_eq!(eng.metrics().arrivals, 2);
+        assert_eq!(eng.metrics().remote_matches, 1);
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub enum RunError {
         /// Attribute domain size.
         domain: u32,
     },
+    /// The retained coefficient prefix is too long for the wire format:
+    /// summary updates address coefficients with a 16-bit index, so a
+    /// prefix beyond 65536 entries would silently truncate on encode.
+    RetainedTooLarge {
+        /// Retained prefix length implied by `domain / kappa`.
+        retained: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -71,6 +78,11 @@ impl fmt::Display for RunError {
             RunError::TraceKeyOutOfDomain { key, domain } => {
                 write!(f, "trace key {key} out of attribute domain {domain}")
             }
+            RunError::RetainedTooLarge { retained } => write!(
+                f,
+                "retained prefix of {retained} coefficients exceeds the 16-bit \
+                 wire index space (max 65536); raise kappa or shrink the domain"
+            ),
         }
     }
 }
@@ -107,5 +119,8 @@ mod tests {
         }
         .to_string()
         .contains("5000"));
+        assert!(RunError::RetainedTooLarge { retained: 131_072 }
+            .to_string()
+            .contains("131072"));
     }
 }

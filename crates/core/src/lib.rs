@@ -60,7 +60,7 @@ pub mod strategy;
 pub mod theory;
 pub mod wire;
 
-pub use engine::{NodeEngine, Transport, TransportEvent};
+pub use engine::{NodeEngine, Transport, TransportEvent, FRAME_MAX};
 pub use error::RunError;
 pub use flow::{FlowParams, TargetComplexity};
 pub use msg::{Msg, SummaryPayload};

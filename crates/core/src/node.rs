@@ -105,6 +105,12 @@ pub struct NodeMetrics {
     pub tuples_received: u64,
     /// Standalone summary messages received.
     pub summaries_received: u64,
+    /// Summary updates dropped because their index fell outside the
+    /// router's configured shape (a version-skewed or corrupted peer).
+    pub summary_index_drops: u64,
+    /// Arrivals dropped at ingest because their key fell outside the
+    /// configured attribute domain (a corrupt or mis-configured source).
+    pub key_domain_drops: u64,
 }
 
 impl NodeMetrics {
@@ -128,6 +134,8 @@ impl NodeMetrics {
             ("fallback_routes", self.fallback_routes),
             ("tuples_received", self.tuples_received),
             ("summaries_received", self.summaries_received),
+            ("summary_index_drops", self.summary_index_drops),
+            ("key_domain_drops", self.key_domain_drops),
         ] {
             registry.counter_add(&format!("node.{me:02}.{name}"), value);
         }
@@ -145,6 +153,8 @@ impl NodeMetrics {
         self.fallback_routes += other.fallback_routes;
         self.tuples_received += other.tuples_received;
         self.summaries_received += other.summaries_received;
+        self.summary_index_drops += other.summary_index_drops;
+        self.key_domain_drops += other.key_domain_drops;
     }
 }
 
@@ -159,6 +169,9 @@ impl NodeMetrics {
 pub struct JoinNode {
     me: u16,
     n: u16,
+    /// Attribute domain size; arrivals with `key >= domain` are dropped
+    /// at ingest (mirroring `RunError::TraceKeyOutOfDomain`).
+    domain: u32,
     count_from_seq: u64,
     r_win: SlidingWindow,
     s_win: SlidingWindow,
@@ -185,10 +198,12 @@ impl JoinNode {
     ) -> Self {
         let me = cfg.me;
         let n = cfg.n;
+        let domain = cfg.domain;
         let rng = StdRng::seed_from_u64(cfg.seed ^ (0xD5EED ^ u64::from(me) << 32));
         JoinNode {
             me,
             n,
+            domain,
             count_from_seq,
             r_win: SlidingWindow::new(spec),
             s_win: SlidingWindow::new(spec),
@@ -282,6 +297,13 @@ impl JoinNode {
     pub fn handle_arrival_into(&mut self, tuple: Tuple, now_us: u64, out: &mut Vec<(u16, Msg)>) {
         out.clear();
         debug_assert_eq!(tuple.origin, self.me, "arrival routed to wrong node");
+        // Domain guard (the runtime analogue of `RunError::TraceKeyOutOfDomain`):
+        // an out-of-domain key from a corrupt source must neither panic the
+        // routing hot path nor poison the window summaries — drop and count.
+        if tuple.key >= self.domain {
+            self.metrics.key_domain_drops += 1;
+            return;
+        }
         // Local join: probe the opposite window, then store. Every stored
         // tuple has a smaller seq, so each co-located pair counts exactly
         // once, at its later tuple's arrival.
@@ -367,7 +389,12 @@ impl JoinNode {
         match msg {
             Msg::Tuple { tuple, piggyback } => {
                 for p in &piggyback {
-                    self.router.apply_summary(from, p);
+                    let dropped = self.router.apply_summary(from, p);
+                    debug_assert!(
+                        dropped == 0,
+                        "peer {from} piggybacked {dropped} out-of-range summary updates"
+                    );
+                    self.metrics.summary_index_drops += dropped;
                 }
                 self.metrics.tuples_received += 1;
                 // Probe-only: count pairs whose later tuple is the prober.
@@ -382,7 +409,12 @@ impl JoinNode {
             Msg::Summary(payloads) => {
                 self.metrics.summaries_received += 1;
                 for p in &payloads {
-                    self.router.apply_summary(from, p);
+                    let dropped = self.router.apply_summary(from, p);
+                    debug_assert!(
+                        dropped == 0,
+                        "peer {from} sent {dropped} out-of-range summary updates"
+                    );
+                    self.metrics.summary_index_drops += dropped;
                 }
             }
         }
@@ -545,11 +577,30 @@ mod tests {
             fallback_routes: 8,
             tuples_received: 9,
             summaries_received: 10,
+            summary_index_drops: 11,
+            key_domain_drops: 12,
         };
         let b = a;
         a.absorb(&b);
         assert_eq!(a.arrivals, 2);
         assert_eq!(a.matches(), 10);
         assert_eq!(a.summaries_received, 20);
+        assert_eq!(a.summary_index_drops, 22);
+        assert_eq!(a.key_domain_drops, 24);
+    }
+
+    #[test]
+    fn out_of_domain_arrival_is_dropped_and_counted() {
+        // test_config uses domain 256: key 300 must not reach the windows,
+        // the router, or the wire — and must not panic.
+        let mut node = JoinNode::new(Algorithm::Dftt, test_config(0, 3), WindowSpec::count(32), 0);
+        let out = node.handle_arrival(Tuple::new(StreamId::R, 300, 0, 0), 0);
+        assert!(out.is_empty(), "dropped arrivals send nothing");
+        assert_eq!(node.metrics().key_domain_drops, 1);
+        assert_eq!(node.metrics().arrivals, 0, "drop precedes the count");
+        assert_eq!(node.window(StreamId::R).len(), 0, "never stored");
+        // In-domain arrivals still flow.
+        let _ = node.handle_arrival(Tuple::new(StreamId::R, 200, 1, 0), 1);
+        assert_eq!(node.metrics().arrivals, 1);
     }
 }

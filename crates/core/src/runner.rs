@@ -243,6 +243,13 @@ impl ClusterConfig {
                 domain: self.domain,
             });
         }
+        // Summary coefficient updates address the retained prefix with a
+        // 16-bit wire index; a longer prefix would silently truncate on
+        // encode (`CoeffUpdate.index`).
+        let retained = ((self.domain / self.kappa.max(1)).max(1)) as usize;
+        if retained > usize::from(u16::MAX) + 1 {
+            return Err(RunError::RetainedTooLarge { retained });
+        }
         if self.tuples == 0 {
             return Err(RunError::NoTuples);
         }
@@ -747,6 +754,23 @@ mod tests {
             quick(Algorithm::Dft).tuples(0).run().unwrap_err(),
             RunError::NoTuples
         );
+        // A domain/kappa combination whose retained prefix overflows the
+        // 16-bit wire index must be a typed error, not silent truncation.
+        assert_eq!(
+            quick(Algorithm::Dft)
+                .domain(1 << 18)
+                .kappa(1)
+                .validate()
+                .unwrap_err(),
+            RunError::RetainedTooLarge { retained: 1 << 18 }
+        );
+        // The largest encodable prefix (65536 coefficients, indices
+        // 0..=u16::MAX) still validates.
+        assert!(quick(Algorithm::Dft)
+            .domain(1 << 16)
+            .kappa(1)
+            .validate()
+            .is_ok());
     }
 
     #[test]

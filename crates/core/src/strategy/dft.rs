@@ -29,7 +29,7 @@ use crate::flow::{forwarding_probabilities, sample_recipients};
 use crate::msg::{CoeffUpdate, SummaryPayload};
 use dsj_dft::sliding::PointDft;
 use dsj_dft::spectrum::cross_correlation_coefficient;
-use dsj_dft::{Complex64, CompressedDft, ControlVector};
+use dsj_dft::{Complex64, ControlVector, IncrementalRecon};
 use dsj_stream::StreamId;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -45,6 +45,74 @@ const PIGGYBACK_TAU_REL: f64 = 0.25;
 /// data, the regime Figure 8 reports.
 const PIGGYBACK_GAP: u64 = 192;
 
+/// One remote window's reconstruction, materialized lazily bucket by
+/// bucket (DFTT only).
+///
+/// Routing reads *one* bucket per peer per tuple, so eagerly maintaining
+/// all `W` buckets on every summary is almost entirely wasted work — the
+/// original reconstruction cliff. Instead each bucket carries a validity
+/// stamp: a dense refresh invalidates the whole memo by bumping `epoch`
+/// (*O(1)*), and a read of a non-current bucket recomputes just that
+/// bucket from the coefficient prefix via [`IncrementalRecon::eval`]
+/// (*O(K)*). Sparse updates (piggybacks) keep already-materialized
+/// buckets current in place via [`IncrementalRecon::apply`], preserving
+/// the memo across the common steady-state message.
+#[derive(Debug, Clone)]
+struct ReconMemo {
+    /// Bucket estimates; meaningful only where `stamps[key] == epoch`.
+    values: Vec<f64>,
+    /// Per-bucket materialization stamp.
+    stamps: Vec<u32>,
+    /// Current validity epoch; bumping it invalidates every bucket.
+    epoch: u32,
+}
+
+impl ReconMemo {
+    fn new(w: usize) -> Self {
+        // `stamps` start below `epoch`, so every bucket begins invalid.
+        ReconMemo {
+            values: vec![0.0; w],
+            stamps: vec![0; w],
+            epoch: 1,
+        }
+    }
+
+    /// Invalidates every bucket in *O(1)* — the dense-refresh path.
+    fn invalidate(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One `O(W)` reset per 2³² refreshes keeps wrapped stamps from
+            // aliasing as current; unreachable in any real run.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+}
+
+/// Reads one reconstruction bucket through the memo: the memoized value
+/// when current, otherwise a fresh *O(K)* pointwise evaluation that is
+/// stored back. `None` for out-of-domain keys.
+///
+/// Free function (not a method) so callers can split-borrow the router's
+/// `recon_plan`, `recon` and `remote` fields independently.
+// dsj-lint: hot-path
+#[inline]
+fn membership_estimate(
+    plan: &IncrementalRecon,
+    memo: &mut ReconMemo,
+    coeffs: &[Complex64],
+    key: usize,
+) -> Option<f64> {
+    let stamp = memo.stamps.get_mut(key)?;
+    if *stamp == memo.epoch {
+        return Some(memo.values[key]);
+    }
+    let est = plan.eval(coeffs, key);
+    memo.values[key] = est;
+    *stamp = memo.epoch;
+    Some(est)
+}
+
 /// Router for the DFT (flow filtering) and DFTT (flow filtering + tuple
 /// matching) algorithms.
 #[derive(Debug)]
@@ -57,8 +125,16 @@ pub(crate) struct DftRouter {
     remote: Vec<[Option<Vec<Complex64>>; 2]>,
     /// What each peer last received of our coefficients.
     snapshot: Vec<[Option<Vec<Complex64>>; 2]>,
-    /// Reconstructed remote histograms (DFTT only).
-    recon: Vec<[Option<Vec<f64>>; 2]>,
+    /// Reconstructed remote histograms (DFTT only), kept as lazy
+    /// bucket-level memos: dense refreshes invalidate in *O(1)*, sparse
+    /// updates fold in place through [`IncrementalRecon`], and buckets
+    /// materialize on first read via the *O(K)* pointwise inverse DFT.
+    recon: Vec<[Option<ReconMemo>; 2]>,
+    /// Shared inverse-DFT update plan for every per-peer reconstruction
+    /// (DFTT only): precomputed twiddles, *O(W)* per changed coefficient.
+    recon_plan: Option<IncrementalRecon>,
+    /// Retained prefix length, clamped to the domain (matches `local`).
+    retained: usize,
     /// Cached `ρ` per peer per *tuple* stream (correlating `local[s]`
     /// against `remote[peer][s.opposite()]`).
     rho: Vec<[Option<f64>; 2]>,
@@ -109,6 +185,8 @@ impl DftRouter {
             remote: vec![[None, None]; n],
             snapshot: vec![[None, None]; n],
             recon: vec![[None, None]; n],
+            recon_plan: tuple_testing.then(|| IncrementalRecon::new(domain, k)),
+            retained: k,
             rho: vec![[None, None]; n],
             rho_stale: vec![[true, true]; n],
             arrivals_since_rho: 0,
@@ -252,19 +330,28 @@ impl DftRouter {
             let opp = stream.opposite().index();
             self.candidates.clear();
             let mut any_recon = false;
-            for j in 0..self.cfg.n as usize {
-                if j == me {
-                    continue;
-                }
-                let est = match self.recon[j][opp].as_ref() {
-                    Some(recon) => {
-                        any_recon = true;
-                        recon[key as usize]
+            if let Some(plan) = self.recon_plan.as_ref() {
+                for j in 0..self.cfg.n as usize {
+                    if j == me {
+                        continue;
                     }
-                    None => continue,
-                };
-                if est >= 0.5 {
-                    self.candidates.push((j as u16, est));
+                    // The memo and the coefficient prefix are always
+                    // created together in `apply_summary`.
+                    let (Some(memo), Some(coeffs)) =
+                        (self.recon[j][opp].as_mut(), self.remote[j][opp].as_ref())
+                    else {
+                        continue;
+                    };
+                    any_recon = true;
+                    // Checked: an out-of-domain key (ingest guards it, but
+                    // the hot path must be panic-free regardless) has no
+                    // reconstruction bucket — no membership hit.
+                    let Some(est) = membership_estimate(plan, memo, coeffs, key as usize) else {
+                        continue;
+                    };
+                    if est >= 0.5 {
+                        self.candidates.push((j as u16, est));
+                    }
                 }
             }
             if !self.candidates.is_empty() {
@@ -378,13 +465,26 @@ impl DftRouter {
 
         if self.tuple_testing && !uniform {
             let opp = stream.opposite().index();
-            let mut candidates: Vec<(u16, f64)> = peers
-                .iter()
-                .filter_map(|&j| {
-                    let est = self.recon[j as usize][opp].as_ref()?[key as usize];
-                    (est >= 0.5).then_some((j, est))
-                })
-                .collect();
+            let mut candidates: Vec<(u16, f64)> = Vec::new();
+            for &j in &peers {
+                let Some(plan) = self.recon_plan.as_ref() else {
+                    break;
+                };
+                let (Some(memo), Some(coeffs)) = (
+                    self.recon[j as usize][opp].as_mut(),
+                    self.remote[j as usize][opp].as_ref(),
+                ) else {
+                    continue;
+                };
+                // The same memoized read as `route_into`: both paths share
+                // the memo state, so they observe bitwise-identical bucket
+                // estimates in lockstep.
+                if let Some(est) = membership_estimate(plan, memo, coeffs, key as usize) {
+                    if est >= 0.5 {
+                        candidates.push((j, est));
+                    }
+                }
+            }
             let any_recon = peers.iter().any(|&j| self.recon[j as usize][opp].is_some());
             if !candidates.is_empty() {
                 candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -448,22 +548,76 @@ impl DftRouter {
         out.fallback = true;
     }
 
-    /// Ingests a peer's coefficient updates.
-    pub fn apply_summary(&mut self, from: u16, payload: &SummaryPayload) {
+    /// Ingests a peer's coefficient updates and keeps the reconstruction
+    /// memo consistent without ever running a full *O(W·κ)* inverse DFT:
+    /// a sparse update folds each changed bin into the memo *in place*
+    /// (*O(W)* per bin through the shared [`IncrementalRecon`] plan, no
+    /// coefficient clone), and a dense refresh invalidates the memo in
+    /// *O(1)*, deferring bucket values to on-demand *O(K)* pointwise
+    /// evaluation at routing time.
+    ///
+    /// Returns the number of updates *dropped* because their index fell
+    /// outside the retained prefix — the signature of a version-skewed or
+    /// corrupted peer summary, surfaced via `NodeMetrics` rather than
+    /// silently part-applying the payload.
+    pub fn apply_summary(&mut self, from: u16, payload: &SummaryPayload) -> u64 {
         let SummaryPayload::Dft {
             stream, updates, ..
         } = payload
         else {
             debug_assert!(false, "DFT router received a non-DFT summary");
-            return;
+            return 0;
         };
         let j = from as usize;
         let s = stream.index();
-        let k = self.cfg.retained;
+        let k = self.retained;
+        // One-time lazy init per (peer, stream); every later summary from
+        // this peer reuses the buffer.
         let coeffs = self.remote[j][s].get_or_insert_with(|| vec![Complex64::ZERO; k]);
-        for u in updates {
-            if (u.index as usize) < coeffs.len() {
-                coeffs[u.index as usize] = u.value;
+        let mut dropped = 0u64;
+        match self.recon_plan.as_ref() {
+            Some(plan) => {
+                let memo =
+                    self.recon[j][s].get_or_insert_with(|| ReconMemo::new(plan.signal_len()));
+                // Hybrid maintenance. A *sparse* update (piggyback, small
+                // drift delta) folds each changed bin into the memo's
+                // buckets in place — O(W) per bin, and already-materialized
+                // buckets stay current. A *dense* refresh (initial full
+                // sync, large drift correction) just invalidates the memo
+                // in O(1): routing reads so few distinct buckets between
+                // refreshes that recomputing them on demand (O(K) each) is
+                // orders of magnitude cheaper than rebuilding all W.
+                // Senders only ship bins that actually moved, so the
+                // in-range update count is the changed-bin count.
+                let in_range = updates.iter().filter(|u| (u.index as usize) < k).count();
+                dropped += (updates.len() - in_range) as u64;
+                if in_range >= plan.dense_threshold() {
+                    for u in updates {
+                        if let Some(slot) = coeffs.get_mut(u.index as usize) {
+                            *slot = u.value;
+                        }
+                    }
+                    memo.invalidate();
+                } else {
+                    for u in updates {
+                        if let Some(slot) = coeffs.get_mut(u.index as usize) {
+                            let delta = u.value - *slot;
+                            *slot = u.value;
+                            // Stale buckets absorb the delta harmlessly —
+                            // they are overwritten by a fresh pointwise
+                            // evaluation whenever they are next read.
+                            plan.apply(&mut memo.values, u.index as usize, delta);
+                        }
+                    }
+                }
+            }
+            None => {
+                for u in updates {
+                    match coeffs.get_mut(u.index as usize) {
+                        Some(slot) => *slot = u.value,
+                        None => dropped += 1,
+                    }
+                }
             }
         }
         // Tuples of the *opposite* stream correlate against this summary.
@@ -472,15 +626,28 @@ impl DftRouter {
         // changes after a staleness mark — invalidate the memo here and at
         // the local refresh tick, nowhere else.
         self.uniform_cache[stream.opposite().index()] = None;
-        if self.tuple_testing {
-            self.recon[j][s] = Some(
-                CompressedDft::from_prefix(coeffs.clone(), self.cfg.domain as usize).reconstruct(),
-            );
-        }
+        dropped
+    }
+
+    /// Test-only view of one reconstruction bucket through the production
+    /// memoized read path (`membership_estimate`).
+    #[cfg(test)]
+    fn recon_bucket(&mut self, peer: usize, s: usize, key: usize) -> Option<f64> {
+        let plan = self.recon_plan.as_ref()?;
+        let memo = self.recon[peer][s].as_mut()?;
+        let coeffs = self.remote[peer][s].as_ref()?;
+        membership_estimate(plan, memo, coeffs, key)
     }
 
     /// Full refresh of both streams' coefficients for `peer`.
     pub fn full_summaries(&mut self, peer: u16) -> Vec<SummaryPayload> {
+        // Indices travel as `u16` on the wire; config validation
+        // (`RunError::RetainedTooLarge`) guarantees the prefix fits.
+        debug_assert!(
+            self.retained <= usize::from(u16::MAX) + 1,
+            "retained prefix {} cannot be u16-index encoded",
+            self.retained
+        );
         let mut out = Vec::new();
         for stream in StreamId::BOTH {
             let s = stream.index();
@@ -738,6 +905,108 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_summary_indices_are_counted_not_applied() {
+        // test_config retains 32 coefficients: indices ≥ 32 are the
+        // signature of a version-skewed or corrupted peer and must be
+        // dropped (and reported), never silently part-applied.
+        let mut r = DftRouter::new(test_config(0, 2), true);
+        let payload = SummaryPayload::Dft {
+            stream: StreamId::S,
+            signal_len: 256,
+            updates: vec![
+                CoeffUpdate {
+                    index: 3,
+                    value: Complex64::new(8.0, -2.0),
+                },
+                CoeffUpdate {
+                    index: 32,
+                    value: Complex64::new(1.0, 1.0),
+                },
+                CoeffUpdate {
+                    index: u16::MAX,
+                    value: Complex64::new(5.0, 5.0),
+                },
+            ],
+        };
+        let dropped = r.apply_summary(1, &payload);
+        assert_eq!(dropped, 2, "two indices fall outside the prefix");
+        let coeffs = r.remote[1][StreamId::S.index()].as_ref().unwrap();
+        assert_eq!(coeffs.len(), 32, "buffer never grows for bad indices");
+        assert_eq!(coeffs[3], Complex64::new(8.0, -2.0), "valid update lands");
+        // The reconstruction absorbed exactly the valid update.
+        let full = dsj_dft::CompressedDft::from_prefix(coeffs.clone(), 256).reconstruct();
+        for (key, b) in full.iter().enumerate() {
+            let a = r.recon_bucket(1, StreamId::S.index(), key).unwrap();
+            assert!((a - b).abs() < 1e-9);
+        }
+        // A fully in-range payload reports zero drops.
+        let ok = SummaryPayload::Dft {
+            stream: StreamId::S,
+            signal_len: 256,
+            updates: vec![CoeffUpdate {
+                index: 0,
+                value: Complex64::new(2.0, 0.0),
+            }],
+        };
+        assert_eq!(r.apply_summary(1, &ok), 0);
+    }
+
+    #[test]
+    fn incremental_recon_matches_full_reconstruction_across_exchanges() {
+        // Full summaries, deltas and piggybacks all flow through the
+        // incremental path; after every exchange the cached reconstruction
+        // must equal a from-scratch inverse DFT of the remote prefix.
+        let mut n0 = DftRouter::new(test_config(0, 2), true);
+        let mut n1 = DftRouter::new(test_config(1, 2), true);
+        let check = |n0: &mut DftRouter| {
+            for s in [StreamId::R.index(), StreamId::S.index()] {
+                let Some(coeffs) = n0.remote[1][s].clone() else {
+                    continue;
+                };
+                let full = dsj_dft::CompressedDft::from_prefix(coeffs, 256).reconstruct();
+                for (i, b) in full.iter().enumerate() {
+                    let a = n0.recon_bucket(1, s, i).unwrap();
+                    assert!((a - b).abs() < 1e-6, "bucket {i}: {a} vs {b}");
+                }
+            }
+        };
+        fill(
+            &mut n1,
+            StreamId::S,
+            &(0..64).map(|i| 30 + i % 7).collect::<Vec<_>>(),
+        );
+        exchange(&mut n1, 1, &mut n0);
+        check(&mut n0);
+        // Evictions and fresh keys produce a sparse delta on the next sync.
+        fill(&mut n1, StreamId::S, &[100; 48]);
+        exchange(&mut n1, 1, &mut n0);
+        check(&mut n0);
+        // A piggyback ships a single coefficient through the same path.
+        fill(&mut n1, StreamId::S, &[200; 300]);
+        for p in n1.piggyback(0) {
+            n0.apply_summary(1, &p);
+        }
+        check(&mut n0);
+    }
+
+    #[test]
+    fn out_of_domain_key_routes_without_panic() {
+        // The recon membership pass must tolerate keys beyond the domain
+        // (ingest drops them, but the hot path is panic-free regardless).
+        let mut n0 = DftRouter::new(test_config(0, 3), true);
+        let mut n1 = DftRouter::new(test_config(1, 3), true);
+        fill(&mut n1, StreamId::S, &[10; 40]);
+        fill(&mut n0, StreamId::R, &(0..40).collect::<Vec<_>>());
+        exchange(&mut n1, 1, &mut n0);
+        let mut rng = rng();
+        for _ in 0..50 {
+            let route = n0.route(StreamId::R, 9_999, 1.0, &mut rng);
+            // No reconstruction bucket exists, so membership never fires.
+            assert!(!route.peers.contains(&0), "never routes to self");
+        }
+    }
+
+    #[test]
     fn reconstruction_tracks_remote_window() {
         let mut n0 = DftRouter::new(test_config(0, 2), true);
         let mut n1 = DftRouter::new(test_config(1, 2), true);
@@ -745,9 +1014,9 @@ mod tests {
         let keys: Vec<u32> = (0..64).map(|i| 40 + (i % 5)).collect();
         fill(&mut n1, StreamId::S, &keys);
         exchange(&mut n1, 1, &mut n0);
-        let recon = n0.recon[1][StreamId::S.index()].as_ref().unwrap();
         // Keys present ~12.8 times each reconstruct to large estimates.
-        for (k, &r) in recon.iter().enumerate().take(45).skip(40) {
+        for k in 40..45 {
+            let r = n0.recon_bucket(1, StreamId::S.index(), k).unwrap();
             assert!(r > 0.5, "bucket {k} = {r}");
         }
     }

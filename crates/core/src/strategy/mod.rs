@@ -266,13 +266,22 @@ impl Router {
         }
     }
 
-    /// Ingests a summary received from `from`.
-    pub fn apply_summary(&mut self, from: u16, payload: &SummaryPayload) {
+    /// Ingests a summary received from `from`. Returns the number of
+    /// updates the router *dropped* because they fell outside its
+    /// configured shape (e.g. a DFT coefficient index beyond the retained
+    /// prefix) — zero for the summary kinds that replace state wholesale.
+    pub fn apply_summary(&mut self, from: u16, payload: &SummaryPayload) -> u64 {
         match self {
-            Router::Base(_) => {}
+            Router::Base(_) => 0,
             Router::Dft(r) => r.apply_summary(from, payload),
-            Router::Bloom(r) => r.apply_summary(from, payload),
-            Router::Sketch(r) => r.apply_summary(from, payload),
+            Router::Bloom(r) => {
+                r.apply_summary(from, payload);
+                0
+            }
+            Router::Sketch(r) => {
+                r.apply_summary(from, payload);
+                0
+            }
         }
     }
 

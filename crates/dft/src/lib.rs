@@ -15,6 +15,9 @@
 //! * [`CompressedDft`] — prefix (`β`) coefficient compression with a factor
 //!   `κ`, inverse-DFT reconstruction with rounding, and the mean-square-error
 //!   analysis of Eqns. 10–12 (Figures 5 and 6).
+//! * [`IncrementalRecon`] — in-place inverse-DFT reconstruction
+//!   maintenance: *O(W)* per changed coefficient, allocation-free, for
+//!   routers that keep per-peer window estimates alive ([`recon`]).
 //! * [`spectrum`] — power spectra, cross-correlation and the
 //!   cross-correlation coefficient `ρ` of Eqn. 4, computed directly from
 //!   (possibly compressed) DFT coefficients.
@@ -40,6 +43,7 @@ pub mod compress;
 pub mod control;
 pub mod dft;
 pub mod fft;
+pub mod recon;
 pub mod sliding;
 pub mod spectrum;
 
@@ -48,6 +52,7 @@ pub use compress::{CompressedDft, CompressionError, ReconstructionStats, Selecti
 pub use control::ControlVector;
 pub use dft::{dft_direct, dft_fast, idft_fast};
 pub use fft::{Fft, RealFft};
+pub use recon::IncrementalRecon;
 pub use sliding::SlidingDft;
 pub use spectrum::{
     auto_covariance, cross_correlation_coefficient, cross_covariance, power_spectrum,

@@ -48,11 +48,12 @@ pub const ROOTS_FILE: &str = "crates/lint/src/callgraph.rs";
 /// `Owner::name` (or bare `name` for free functions). Every entry must
 /// resolve to at least one ungated workspace function; a rename that
 /// orphans an entry is itself a finding.
-pub const HOT_PATH_ROOTS: [&str; 11] = [
+pub const HOT_PATH_ROOTS: [&str; 12] = [
     "BaseRouter::route_into",
     "DftRouter::route_into",
     "JoinNode::handle_arrival_into",
     "NodeEngine::on_arrival",
+    "NodeEngine::on_frame",
     "PointDft::add",
     "RoundRobin::pick_into",
     "Router::route_into",
@@ -155,7 +156,7 @@ const PRIM_TYPES: [&str; 17] = [
 /// scratch-reuse policy (DESIGN.md §6): hot-path buffers are reused
 /// across tuples, so steady-state growth is zero. Sorted — looked up by
 /// binary search.
-const CLEAN_METHODS: [&str; 137] = [
+const CLEAN_METHODS: [&str; 139] = [
     "abs",
     "all",
     "and_then",
@@ -190,6 +191,8 @@ const CLEAN_METHODS: [&str; 137] = [
     "eq",
     "exp",
     "extend",
+    "fetch_add",
+    "fetch_sub",
     "fill",
     "filter",
     "filter_map",

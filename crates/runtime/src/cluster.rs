@@ -120,6 +120,21 @@ impl Transport for ChannelTransport {
         self.rx.recv().map_err(|_| LiveError::ChannelClosed)
     }
 
+    fn poll_frame(&mut self, max: usize, frame: &mut Vec<TransportEvent>) -> Result<(), LiveError> {
+        // Block for the first event, then drain whatever else is already
+        // queued — the backlog a fast feeder or chatty peer built up while
+        // this node was busy becomes one frame instead of `max` lock
+        // round-trips through the run loop.
+        frame.push(self.rx.recv().map_err(|_| LiveError::ChannelClosed)?);
+        while frame.len() < max {
+            match self.rx.try_recv() {
+                Some(event) => frame.push(event),
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
     fn now_us(&mut self) -> u64 {
         // dsj-lint: allow(hot-path-opaque-call) — the live clock *is* wall time; it feeds only time-window eviction and the governor, never reproduced results
         self.epoch.elapsed().as_micros() as u64

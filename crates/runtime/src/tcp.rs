@@ -42,7 +42,8 @@ fn io_err(node: u16, e: &std::io::Error) -> LiveError {
 
 /// [`Transport`] over per-peer TCP sockets: decoded inbound traffic and
 /// feeder arrivals share one channel; outbound messages are encoded into
-/// a reused scratch buffer and written to the peer's socket.
+/// per-peer write buffers and hit the socket in one `write_all` per peer
+/// per frame when the engine calls [`Transport::flush`].
 struct TcpTransport {
     me: u16,
     rx: Receiver<TransportEvent>,
@@ -50,38 +51,79 @@ struct TcpTransport {
     writers: Vec<Option<TcpStream>>,
     in_flight: Arc<AtomicI64>,
     epoch: Instant,
-    /// Encode scratch, reused across sends.
-    buf: Vec<u8>,
+    /// `wbufs[j]` holds frames encoded for peer `j` since the last flush.
+    wbufs: Vec<Vec<u8>>,
+    /// How many messages each write buffer holds (for in-flight repair on
+    /// a failed flush).
+    wpending: Vec<i64>,
 }
 
 impl Transport for TcpTransport {
     type Error = LiveError;
 
     fn send(&mut self, to: u16, msg: Msg) -> Result<(), LiveError> {
-        self.buf.clear();
-        wire::encode_into(&msg, &mut self.buf);
-        // Count the message in flight before any byte becomes visible to
-        // the peer, so the cluster-wide counter never under-reports.
-        self.in_flight.fetch_add(1, Ordering::SeqCst);
-        let stream = match self.writers.get_mut(to as usize) {
-            Some(Some(stream)) => stream,
-            _ => {
-                self.in_flight.fetch_sub(1, Ordering::SeqCst);
-                return Err(LiveError::Io {
-                    node: self.me,
-                    detail: format!("no socket from node {} to peer {to}", self.me),
-                });
-            }
-        };
-        if let Err(e) = stream.write_all(&self.buf) {
-            self.in_flight.fetch_sub(1, Ordering::SeqCst);
-            return Err(io_err(self.me, &e));
+        let j = to as usize;
+        if !matches!(self.writers.get(j), Some(Some(_))) {
+            return Err(LiveError::Io {
+                node: self.me,
+                detail: format!("no socket from node {} to peer {to}", self.me),
+            });
         }
+        wire::encode_into(&msg, &mut self.wbufs[j]);
+        self.wpending[j] += 1;
+        // Count the message in flight at buffer time, before any byte
+        // becomes visible to the peer: the counter may briefly over-report
+        // (buffered, not yet written) but never under-reports, and the
+        // engine flushes every frame before blocking, so buffered messages
+        // cannot stall quiescence.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
         Ok(())
     }
 
     fn poll(&mut self) -> Result<TransportEvent, LiveError> {
         self.rx.recv().map_err(|_| LiveError::ChannelClosed)
+    }
+
+    fn poll_frame(&mut self, max: usize, frame: &mut Vec<TransportEvent>) -> Result<(), LiveError> {
+        // Block for the first event, then drain the already-queued backlog
+        // (decoded socket traffic plus feeder arrivals) into one frame.
+        frame.push(self.rx.recv().map_err(|_| LiveError::ChannelClosed)?);
+        while frame.len() < max {
+            match self.rx.try_recv() {
+                Some(event) => frame.push(event),
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), LiveError> {
+        for j in 0..self.wbufs.len() {
+            if self.wbufs[j].is_empty() {
+                continue;
+            }
+            // `send` only buffers toward peers with sockets, so a missing
+            // writer under a non-empty buffer is unreachable; skipping it
+            // beats panicking mid-abort.
+            let Some(stream) = self.writers[j].as_mut() else {
+                continue;
+            };
+            if let Err(e) = stream.write_all(&self.wbufs[j]) {
+                // Un-count everything still buffered (this peer's bytes
+                // and any peers not yet reached); the run is aborting, but
+                // the cluster-wide counter must not leak phantom traffic.
+                let orphaned: i64 = self.wpending.iter().sum();
+                self.in_flight.fetch_sub(orphaned, Ordering::SeqCst);
+                for (buf, pending) in self.wbufs.iter_mut().zip(&mut self.wpending) {
+                    buf.clear();
+                    *pending = 0;
+                }
+                return Err(io_err(self.me, &e));
+            }
+            self.wbufs[j].clear();
+            self.wpending[j] = 0;
+        }
+        Ok(())
     }
 
     fn now_us(&mut self) -> u64 {
@@ -265,7 +307,8 @@ impl TcpCluster {
                 writers: row,
                 in_flight: Arc::clone(&shared.in_flight),
                 epoch: shared.epoch,
-                buf: Vec::with_capacity(1024),
+                wbufs: (0..n).map(|_| Vec::with_capacity(1024)).collect(),
+                wpending: vec![0; n],
             };
             let engine = NodeEngine::new(cfg.build_node(me as u16));
             handles.push(harness::spawn_node(me as u16, engine, transport, &shared));

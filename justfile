@@ -63,15 +63,16 @@ live-tcp n="4" tuples="20000" algorithm="dftt" pacing="freerun":
     ./target/release/examples/live_tcp {{n}} {{tuples}} {{algorithm}} {{pacing}}
 
 # Full hot-path throughput suite (micro ns/op + macro tuples/sec for every
-# strategy at N ∈ {4, 16}); records the trajectory in BENCH_pr5.json.
+# strategy at N ∈ {4, 16, 32}); records the trajectory in BENCH_pr6.json.
 bench:
     cargo build --release -p dsj-bench --bin dsj-bench
-    ./target/release/dsj-bench --out BENCH_pr5.json
+    ./target/release/dsj-bench --out BENCH_pr6.json
 
-# CI-sized bench run — fewer iterations, same record schema.
+# CI-sized bench run — fewer iterations, same record schema — gated on
+# the DFTT reconstruction cliff (fail if macro N=16 DFTT < 1/3 of DFT).
 bench-quick:
     cargo build --release -p dsj-bench --bin dsj-bench
-    ./target/release/dsj-bench --quick --out BENCH_ci.json
+    ./target/release/dsj-bench --quick --out BENCH_ci.json --gate-dftt
 
 # Regenerate the recorded full-scale reproduction outputs.
 repro-record:
