@@ -1,0 +1,27 @@
+// Fixture: seeded `guard-across-blocking` violation. The `log` guard is
+// still live when `send` blocks on a full channel, so every other thread
+// trying to log stalls behind a channel consumer. The `released` variant
+// drops the guard first and must stay clean.
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+pub struct Audited {
+    log: Mutex<Vec<u64>>,
+    tx: Sender<u64>,
+}
+
+impl Audited {
+    pub fn record(&self, value: u64) {
+        let mut held = self.log.lock();
+        held.push(value);
+        let _ = self.tx.send(value);
+    }
+
+    pub fn record_released(&self, value: u64) {
+        let mut held = self.log.lock();
+        held.push(value);
+        drop(held);
+        let _ = self.tx.send(value);
+    }
+}

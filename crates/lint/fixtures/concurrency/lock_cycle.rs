@@ -1,0 +1,35 @@
+// Fixture: seeded `lock-order` cycle, two functions deep. `forward`
+// holds `alpha` while (via `nested_beta`) acquiring `beta`; `backward`
+// holds `beta` while (via `nested_alpha`) acquiring `alpha`. Two threads
+// running the two entry points in opposite orders deadlock.
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<Vec<u64>>,
+    beta: Mutex<Vec<u64>>,
+}
+
+impl Pair {
+    pub fn forward(&self, v: u64) {
+        let mut a = self.alpha.lock();
+        a.push(v);
+        self.nested_beta(v);
+    }
+
+    fn nested_beta(&self, v: u64) {
+        let mut b = self.beta.lock();
+        b.push(v);
+    }
+
+    pub fn backward(&self, v: u64) {
+        let mut b = self.beta.lock();
+        b.push(v);
+        self.nested_alpha(v);
+    }
+
+    fn nested_alpha(&self, v: u64) {
+        let mut a = self.alpha.lock();
+        a.push(v);
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: seeded `wire-exhaustive` violation. `Msg::Leave` exists on
+// the wire but the engine's `handle_message` only matches `Tuple` and
+// `Summary` — the wildcard arm silently drops every leave announcement.
+
+pub enum Msg {
+    Tuple { seq: u64 },
+    Summary { bytes: u64 },
+    Leave { node: u16 },
+}
+
+pub struct Engine {
+    handled: u64,
+}
+
+impl Engine {
+    pub fn handle_message(&mut self, msg: &Msg) -> u64 {
+        match msg {
+            Msg::Tuple { seq } => {
+                self.handled += 1;
+                *seq
+            }
+            Msg::Summary { bytes } => *bytes,
+            _ => 0,
+        }
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: seeded `in-flight-balance` violation. The early return on
+// the not-ready path escapes after `fetch_add` without giving the
+// increment back, so a quiescence loop waiting for zero spins forever.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+pub struct Feeder {
+    in_flight: AtomicI64,
+}
+
+impl Feeder {
+    pub fn inject(&self, ready: bool) -> Result<(), ()> {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if !ready {
+            return Err(());
+        }
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        Ok(())
+    }
+}

@@ -135,7 +135,7 @@ const NONDET_CALLS: [&str; 3] = ["from_entropy", "from_os_rng", "thread_rng"];
 
 /// Rust keywords — never call heads, even when followed by `(`
 /// (`for (i, x) in ..`, `let (a, b) = ..`, `match (x) {..}`).
-const KEYWORDS: [&str; 36] = [
+pub(crate) const KEYWORDS: [&str; 36] = [
     "Self", "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum",
     "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
     "ref", "return", "self", "static", "struct", "super", "trait", "type", "unsafe", "use",
@@ -156,7 +156,7 @@ const PRIM_TYPES: [&str; 17] = [
 /// scratch-reuse policy (DESIGN.md §6): hot-path buffers are reused
 /// across tuples, so steady-state growth is zero. Sorted — looked up by
 /// binary search.
-const CLEAN_METHODS: [&str; 139] = [
+pub(crate) const CLEAN_METHODS: [&str; 139] = [
     "abs",
     "all",
     "and_then",
@@ -713,7 +713,7 @@ fn scan_fn(
 
 /// `true` when the identifier at `i` heads a call: followed by `(`
 /// directly or through a `::<..>` turbofish.
-fn is_call(toks: &[Token], i: usize, limit: usize) -> bool {
+pub(crate) fn is_call(toks: &[Token], i: usize, limit: usize) -> bool {
     match punct(toks, i + 1) {
         Some("(") => true,
         Some("::") if punct(toks, i + 2) == Some("<") => {

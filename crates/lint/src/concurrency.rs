@@ -1,0 +1,1164 @@
+//! Concurrency-discipline analyses: lock-order cycles, guards held across
+//! blocking calls, and in-flight counter balance.
+//!
+//! Three tree-level rule families share one pass over the ungated,
+//! non-exempt workspace functions:
+//!
+//! - **`lock-order`** — every `.lock()` site is attributed to a *named*
+//!   lock (the last field, variable or accessor-fn identifier of its
+//!   receiver chain: `self.failures.lock()` → `failures`,
+//!   `exclusivity().lock()` → `exclusivity`). While a guard is live, any
+//!   further acquisition — directly or through a resolved workspace call
+//!   that transitively locks — adds a may-hold-while-acquiring edge. A
+//!   cycle in that graph means two code paths can take the same locks in
+//!   opposite orders; the finding carries the full witness path. A
+//!   `.lock()` whose receiver cannot be named is itself a finding:
+//!   unattributable guards would silently fall out of the proof.
+//! - **`guard-across-blocking`** — a live guard spanning a call whose
+//!   name is in [`BLOCKING_CALLS`] (or that resolves to a workspace
+//!   function which transitively makes one) is flagged: a blocked thread
+//!   holds the lock and stalls every other party.
+//! - **`in-flight-balance`** — for counters in [`BALANCED_COUNTERS`]:
+//!   an explicit `return`/`?` exit after `fetch_add` with no intervening
+//!   `fetch_sub` leaks the count (abort paths must decrement; the success
+//!   path falls off the end of the block and hands the count to the
+//!   deliver side); a visibility call ([`VISIBILITY_CALLS`]) before the
+//!   first `fetch_add` inverts the increment-before-visibility protocol;
+//!   and a counter with adds but no subs anywhere in the tree (or vice
+//!   versa) can never quiesce.
+//!
+//! Guard scopes are tracked textually from declaration to drop or end of
+//! block: `let g = x.lock()..` is live until the enclosing block closes
+//! or `drop(g)`; a `.lock()` not bound to a simple `let` identifier
+//! (temporaries, `let Some(g) = ..` patterns, `let _ = ..`) is live to
+//! the end of its statement. Lock identity is name-based, call
+//! resolution reuses the over-approximate union resolver of
+//! [`crate::callgraph`], and the path checks are textual rather than
+//! CFG-accurate — the limits are spelled out in DESIGN.md §6.
+
+use crate::callgraph::{is_call, FileGraphInput, CLEAN_METHODS, KEYWORDS};
+use crate::lex::{Token, TokenKind};
+use crate::rules::{Finding, Rule};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Call names treated as potentially blocking when a lock guard is live.
+/// Sorted — looked up by binary search.
+pub const BLOCKING_CALLS: [&str; 20] = [
+    "accept",
+    "connect",
+    "flush",
+    "join",
+    "park",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "recv",
+    "recv_deadline",
+    "recv_timeout",
+    "send",
+    "send_timeout",
+    "sleep",
+    "wait",
+    "wait_timeout",
+    "wait_timeout_while",
+    "write",
+    "write_all",
+    "write_vectored",
+];
+
+/// Calls that make an event visible to another thread — a balanced
+/// counter must be incremented *before* any of these run, or a racing
+/// quiescence check can observe zero while work is in flight.
+pub const VISIBILITY_CALLS: [&str; 3] = ["send", "write", "write_all"];
+
+/// Atomic counters whose `fetch_add`/`fetch_sub` sites must balance: the
+/// live harness's quiescence invariant rests on `in_flight` reaching a
+/// true zero.
+pub const BALANCED_COUNTERS: [&str; 1] = ["in_flight"];
+
+/// `(file index, item index)` — a function's identity across the pass.
+type Key = (usize, usize);
+
+/// One `.lock()` acquisition and the token range its guard is live for.
+struct LockSite {
+    /// Attributed lock name; `None` when the receiver cannot be named.
+    name: Option<String>,
+    tok: usize,
+    line: u32,
+    /// Exclusive token index where the guard dies (drop, `;`, or block
+    /// close).
+    scope_end: usize,
+}
+
+/// A call site that resolved to at least one workspace function.
+struct CallSite {
+    tok: usize,
+    line: u32,
+    name: String,
+    callees: Vec<Key>,
+}
+
+/// A call whose *name* is in [`BLOCKING_CALLS`], resolved or not.
+struct BlockingSite {
+    tok: usize,
+    line: u32,
+    name: String,
+}
+
+/// A `fetch_add`/`fetch_sub` on a balanced counter.
+struct CounterSite {
+    counter: String,
+    tok: usize,
+    line: u32,
+}
+
+/// Everything the analyses need from one function body.
+struct FnData {
+    key: Key,
+    file: usize,
+    display: String,
+    body: (usize, usize),
+    locks: Vec<LockSite>,
+    calls: Vec<CallSite>,
+    blocking: Vec<BlockingSite>,
+    adds: Vec<CounterSite>,
+    subs: Vec<CounterSite>,
+}
+
+/// A may-hold-while-acquiring edge: `to` is (possibly transitively)
+/// acquired while a guard of `from` is live.
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    holder: String,
+    /// `" via `callee` (..)"` for edges through a call; empty for direct
+    /// nested acquisitions.
+    note: String,
+}
+
+/// Name-resolution tables over the same function set the call-graph pass
+/// uses (ungated, non-exempt, with a body).
+struct Tables {
+    by_qual: BTreeMap<(String, String), Vec<Key>>,
+    by_name: BTreeMap<String, Vec<Key>>,
+    free_by_name: BTreeMap<String, Vec<Key>>,
+}
+
+fn punct(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(p)) => Some(p.as_str()),
+        _ => None,
+    }
+}
+
+fn ident(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Runs the concurrency pass over the scanned files.
+pub fn analyze(files: &[FileGraphInput<'_>]) -> Vec<Finding> {
+    let tables = build_tables(files);
+    let mut fns: Vec<FnData> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if f.exempt {
+            continue;
+        }
+        for (ii, item) in f.items.fns.iter().enumerate() {
+            if item.gated || item.body.is_none() {
+                continue;
+            }
+            fns.push(scan_fn(files, &tables, fi, ii));
+        }
+    }
+    let mut fn_index: BTreeMap<Key, usize> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        fn_index.insert(f.key, i);
+    }
+
+    let may_block = may_block_fixpoint(files, &fns, &fn_index);
+    let acquires = acquires_fixpoint(files, &fns, &fn_index);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut seen: BTreeSet<(String, u32, Rule, String)> = BTreeSet::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut edge_seen: BTreeSet<(String, String, String, u32)> = BTreeSet::new();
+
+    for f in &fns {
+        let rel = files[f.file].rel;
+        for s in &f.locks {
+            let Some(from) = &s.name else {
+                emit(
+                    &mut findings,
+                    &mut seen,
+                    rel,
+                    s.line,
+                    Rule::LockOrder,
+                    "anon",
+                    format!(
+                        "cannot attribute this `.lock()` to a named lock in `{}` — end the \
+                         receiver chain in a field, variable or accessor fn, or waive with \
+                         `allow(lock-order)`",
+                        f.display
+                    ),
+                );
+                continue;
+            };
+            // Direct nested acquisitions inside the guard scope.
+            for s2 in &f.locks {
+                if s2.tok > s.tok && s2.tok < s.scope_end {
+                    if let Some(to) = &s2.name {
+                        push_edge(
+                            &mut edges,
+                            &mut edge_seen,
+                            Edge {
+                                from: from.clone(),
+                                to: to.clone(),
+                                file: rel.to_string(),
+                                line: s2.line,
+                                holder: f.display.clone(),
+                                note: String::new(),
+                            },
+                        );
+                    }
+                }
+            }
+            // Acquisitions and blocking behind calls inside the scope.
+            let mut blocked_lines: BTreeSet<u32> = BTreeSet::new();
+            for b in &f.blocking {
+                if b.tok > s.tok && b.tok < s.scope_end {
+                    blocked_lines.insert(b.line);
+                    emit(
+                        &mut findings,
+                        &mut seen,
+                        rel,
+                        b.line,
+                        Rule::GuardBlocking,
+                        &format!("{from}:{}", b.name),
+                        format!(
+                            "`{}(..)` can block while the `{from}` guard (acquired line {}) is \
+                             live in `{}` — a blocked thread holds the lock; drop or scope the \
+                             guard first",
+                            b.name, s.line, f.display
+                        ),
+                    );
+                }
+            }
+            for c in &f.calls {
+                if c.tok <= s.tok || c.tok >= s.scope_end {
+                    continue;
+                }
+                for k in &c.callees {
+                    if let Some(acq) = acquires.get(k) {
+                        for (to, wit) in acq {
+                            push_edge(
+                                &mut edges,
+                                &mut edge_seen,
+                                Edge {
+                                    from: from.clone(),
+                                    to: to.clone(),
+                                    file: rel.to_string(),
+                                    line: c.line,
+                                    holder: f.display.clone(),
+                                    note: format!(" via `{}` ({wit})", disp(&fns, &fn_index, k)),
+                                },
+                            );
+                        }
+                    }
+                }
+                if !blocked_lines.contains(&c.line) {
+                    if let Some((k, wit)) = c
+                        .callees
+                        .iter()
+                        .find_map(|k| may_block.get(k).map(|w| (k, w)))
+                    {
+                        blocked_lines.insert(c.line);
+                        emit(
+                            &mut findings,
+                            &mut seen,
+                            rel,
+                            c.line,
+                            Rule::GuardBlocking,
+                            &format!("{from}:{}", c.name),
+                            format!(
+                                "`{}(..)` resolves to `{}` which may block ({wit}) while the \
+                                 `{from}` guard (acquired line {}) is live in `{}`",
+                                c.name,
+                                disp(&fns, &fn_index, k),
+                                s.line,
+                                f.display
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    cycle_findings(&edges, &mut findings, &mut seen);
+    in_flight_findings(files, &fns, &mut findings, &mut seen);
+    findings
+}
+
+fn build_tables(files: &[FileGraphInput<'_>]) -> Tables {
+    let mut t = Tables {
+        by_qual: BTreeMap::new(),
+        by_name: BTreeMap::new(),
+        free_by_name: BTreeMap::new(),
+    };
+    for (fi, f) in files.iter().enumerate() {
+        if f.exempt {
+            continue;
+        }
+        for (ii, item) in f.items.fns.iter().enumerate() {
+            if item.gated || item.body.is_none() {
+                continue;
+            }
+            let id = (fi, ii);
+            match &item.owner {
+                Some(owner) => t
+                    .by_qual
+                    .entry((owner.clone(), item.name.clone()))
+                    .or_default()
+                    .push(id),
+                None => t
+                    .free_by_name
+                    .entry(item.name.clone())
+                    .or_default()
+                    .push(id),
+            }
+            t.by_name.entry(item.name.clone()).or_default().push(id);
+        }
+    }
+    t
+}
+
+/// Scans one function body for lock sites, resolved calls, blocking-name
+/// calls and balanced-counter touches.
+fn scan_fn(files: &[FileGraphInput<'_>], tables: &Tables, fi: usize, ii: usize) -> FnData {
+    let file = &files[fi];
+    let item = &file.items.fns[ii];
+    let (start, end) = item.body.unwrap_or((0, 0));
+    let end = end.min(file.tokens.len());
+    let toks = file.tokens;
+    let mut data = FnData {
+        key: (fi, ii),
+        file: fi,
+        display: item.display(),
+        body: (start, end),
+        locks: Vec::new(),
+        calls: Vec::new(),
+        blocking: Vec::new(),
+        adds: Vec::new(),
+        subs: Vec::new(),
+    };
+
+    let mut i = start;
+    while i < end {
+        let Some(name) = ident(toks, i) else {
+            i += 1;
+            continue;
+        };
+        let line = toks[i].line;
+        // Macro invocation: skip the head, the body tokens still scan.
+        if punct(toks, i + 1) == Some("!")
+            && matches!(punct(toks, i + 2), Some("(") | Some("[") | Some("{"))
+        {
+            i += 2;
+            continue;
+        }
+        if KEYWORDS.contains(&name) {
+            i += 1;
+            continue;
+        }
+        if !is_call(toks, i, end) {
+            i += 1;
+            continue;
+        }
+
+        // `.lock()` — an acquisition site with a guard scope.
+        if name == "lock" && punct(toks, i.wrapping_sub(1)) == Some(".") && i >= 1 {
+            let lock_name = receiver_name(toks, i);
+            let scope_end = guard_scope_end(toks, start, end, i);
+            data.locks.push(LockSite {
+                name: lock_name,
+                tok: i,
+                line,
+                scope_end,
+            });
+            i += 1;
+            continue;
+        }
+
+        // Balanced-counter touches.
+        if (name == "fetch_add" || name == "fetch_sub")
+            && punct(toks, i.wrapping_sub(1)) == Some(".")
+            && i >= 1
+        {
+            if let Some(recv) = receiver_name(toks, i) {
+                if BALANCED_COUNTERS.contains(&recv.as_str()) {
+                    let site = CounterSite {
+                        counter: recv,
+                        tok: i,
+                        line,
+                    };
+                    if name == "fetch_add" {
+                        data.adds.push(site);
+                    } else {
+                        data.subs.push(site);
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        if BLOCKING_CALLS.binary_search(&name).is_ok() {
+            data.blocking.push(BlockingSite {
+                tok: i,
+                line,
+                name: name.to_string(),
+            });
+        }
+
+        // Workspace resolution, mirroring the call-graph pass.
+        let prev = punct(toks, i.wrapping_sub(1));
+        let self_recv = i >= 2 && ident(toks, i - 2) == Some("self");
+        let callees: Vec<Key> = match prev {
+            Some(".") if i >= 1 => {
+                if !self_recv && CLEAN_METHODS.binary_search(&name).is_ok() {
+                    Vec::new()
+                } else if self_recv {
+                    item.owner
+                        .as_ref()
+                        .and_then(|o| tables.by_qual.get(&(o.clone(), name.to_string())))
+                        .or_else(|| tables.by_name.get(name))
+                        .cloned()
+                        .unwrap_or_default()
+                } else {
+                    tables.by_name.get(name).cloned().unwrap_or_default()
+                }
+            }
+            Some("::") if i >= 2 => match ident(toks, i - 2) {
+                Some("Self") => item
+                    .owner
+                    .as_ref()
+                    .and_then(|o| tables.by_qual.get(&(o.clone(), name.to_string())))
+                    .cloned()
+                    .unwrap_or_default(),
+                Some(q) => tables
+                    .by_qual
+                    .get(&(q.to_string(), name.to_string()))
+                    .cloned()
+                    .unwrap_or_default(),
+                None => Vec::new(),
+            },
+            _ => tables.free_by_name.get(name).cloned().unwrap_or_default(),
+        };
+        if !callees.is_empty() {
+            data.calls.push(CallSite {
+                tok: i,
+                line,
+                name: name.to_string(),
+                callees,
+            });
+        }
+        i += 1;
+    }
+    data
+}
+
+/// The last named identifier of the receiver chain ending at the `.`
+/// before token `i`: `self.failures.lock` → `failures`,
+/// `exclusivity().lock` → `exclusivity`, `locks[i].lock` → `locks`.
+fn receiver_name(toks: &[Token], i: usize) -> Option<String> {
+    if i < 2 {
+        return None;
+    }
+    let mut j = i - 2; // the token before the `.`
+    loop {
+        match toks.get(j).map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) => return Some(s.clone()),
+            Some(TokenKind::Punct(p)) if p == ")" || p == "]" => {
+                let (open, close) = if p == ")" { ("(", ")") } else { ("[", "]") };
+                let mut depth = 0i32;
+                loop {
+                    match punct(toks, j) {
+                        Some(x) if x == close => depth += 1,
+                        Some(x) if x == open => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if j == 0 {
+                        return None;
+                    }
+                    j -= 1;
+                }
+                // `j` is at the opening bracket; the name precedes it.
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Where the guard born at the `.lock()` at token `i` dies (exclusive).
+///
+/// A simple `let [mut] name = ..` binding is live to `drop(name)` or the
+/// enclosing block close; anything else (temporaries, pattern bindings,
+/// `let _`) is live to the end of its statement.
+fn guard_scope_end(toks: &[Token], body_start: usize, body_end: usize, i: usize) -> usize {
+    // Walk back to the start of the enclosing statement.
+    let mut depth = 0i32;
+    let mut j = i;
+    let stmt_start = loop {
+        if j == body_start {
+            break j;
+        }
+        j -= 1;
+        match punct(toks, j) {
+            Some(")") | Some("]") | Some("}") => depth += 1,
+            Some("(") | Some("[") | Some("{") => {
+                if depth == 0 {
+                    break j + 1;
+                }
+                depth -= 1;
+            }
+            Some(";") | Some(",") if depth == 0 => break j + 1,
+            _ => {}
+        }
+    };
+    let bound_var = if ident(toks, stmt_start) == Some("let") {
+        let mut k = stmt_start + 1;
+        if ident(toks, k) == Some("mut") {
+            k += 1;
+        }
+        match ident(toks, k) {
+            Some(v)
+                if v != "_"
+                    && !KEYWORDS.contains(&v)
+                    && matches!(punct(toks, k + 1), Some("=") | Some(":")) =>
+            {
+                Some(v.to_string())
+            }
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < body_end {
+        match punct(toks, j) {
+            Some("(") | Some("[") | Some("{") => depth += 1,
+            Some(")") | Some("]") | Some("}") => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            Some(";") | Some(",") if depth == 0 && bound_var.is_none() => return j,
+            _ => {}
+        }
+        if let Some(var) = &bound_var {
+            if ident(toks, j) == Some("drop")
+                && punct(toks, j + 1) == Some("(")
+                && ident(toks, j + 2) == Some(var)
+                && punct(toks, j + 3) == Some(")")
+            {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    body_end
+}
+
+/// End of the innermost block enclosing token `i` (exclusive).
+fn brace_scope_end(toks: &[Token], i: usize, body_end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < body_end {
+        match punct(toks, j) {
+            Some("(") | Some("[") | Some("{") => depth += 1,
+            Some(")") | Some("]") | Some("}") => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    body_end
+}
+
+/// Functions that may block, with a witness: seeded by direct
+/// blocking-name calls, propagated over resolved call edges.
+fn may_block_fixpoint(
+    files: &[FileGraphInput<'_>],
+    fns: &[FnData],
+    fn_index: &BTreeMap<Key, usize>,
+) -> BTreeMap<Key, String> {
+    let mut may_block: BTreeMap<Key, String> = BTreeMap::new();
+    for f in fns {
+        if let Some(b) = f.blocking.first() {
+            may_block.insert(
+                f.key,
+                format!("calls `{}` at {}:{}", b.name, files[f.file].rel, b.line),
+            );
+        }
+    }
+    loop {
+        let mut changed = false;
+        for f in fns {
+            if may_block.contains_key(&f.key) {
+                continue;
+            }
+            'calls: for c in &f.calls {
+                for k in &c.callees {
+                    if may_block.contains_key(k) {
+                        may_block.insert(
+                            f.key,
+                            format!(
+                                "via `{}` at {}:{}",
+                                disp(fns, fn_index, k),
+                                files[f.file].rel,
+                                c.line
+                            ),
+                        );
+                        changed = true;
+                        break 'calls;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    may_block
+}
+
+/// Lock names each function may acquire (transitively), with witnesses.
+fn acquires_fixpoint(
+    files: &[FileGraphInput<'_>],
+    fns: &[FnData],
+    fn_index: &BTreeMap<Key, usize>,
+) -> BTreeMap<Key, BTreeMap<String, String>> {
+    let mut acquires: BTreeMap<Key, BTreeMap<String, String>> = BTreeMap::new();
+    for f in fns {
+        for s in &f.locks {
+            if let Some(n) = &s.name {
+                acquires
+                    .entry(f.key)
+                    .or_default()
+                    .entry(n.clone())
+                    .or_insert_with(|| format!("locks `{n}` at {}:{}", files[f.file].rel, s.line));
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for f in fns {
+            for c in &f.calls {
+                for k in &c.callees {
+                    if *k == f.key {
+                        continue;
+                    }
+                    let Some(callee_acq) = acquires.get(k) else {
+                        continue;
+                    };
+                    let fresh: Vec<String> = callee_acq
+                        .keys()
+                        .filter(|n| {
+                            acquires
+                                .get(&f.key)
+                                .is_none_or(|m| !m.contains_key(n.as_str()))
+                        })
+                        .cloned()
+                        .collect();
+                    if fresh.is_empty() {
+                        continue;
+                    }
+                    let wit = format!(
+                        "via `{}` at {}:{}",
+                        disp(fns, fn_index, k),
+                        files[f.file].rel,
+                        c.line
+                    );
+                    let m = acquires.entry(f.key).or_default();
+                    for n in fresh {
+                        m.insert(n, wit.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    acquires
+}
+
+/// Reports every edge that participates in a cycle of the
+/// may-hold-while-acquiring graph, with the full witness path.
+fn cycle_findings(
+    edges: &[Edge],
+    findings: &mut Vec<Finding>,
+    seen: &mut BTreeSet<(String, u32, Rule, String)>,
+) {
+    let mut adj: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, e) in edges.iter().enumerate() {
+        adj.entry(e.from.clone()).or_default().push(i);
+    }
+    for e in edges {
+        if e.from == e.to {
+            emit(
+                findings,
+                seen,
+                &e.file,
+                e.line,
+                Rule::LockOrder,
+                &format!("cycle:{}:{}", e.from, e.to),
+                format!(
+                    "re-entrant acquisition: `{}` is locked again while already held in \
+                     `{}`{} — self-deadlock",
+                    e.to, e.holder, e.note
+                ),
+            );
+            continue;
+        }
+        let Some(path) = find_path(edges, &adj, &e.to, &e.from) else {
+            continue;
+        };
+        let mut msg = format!(
+            "lock-order cycle: `{}` may be acquired while `{}` is held in `{}`{}",
+            e.to, e.from, e.holder, e.note
+        );
+        for &pi in &path {
+            let pe = &edges[pi];
+            msg.push_str(&format!(
+                "; the opposite order runs `{}` → `{}` at {}:{} in `{}`{}",
+                pe.from, pe.to, pe.file, pe.line, pe.holder, pe.note
+            ));
+        }
+        msg.push_str(" — two threads taking these locks in opposite orders deadlock");
+        emit(
+            findings,
+            seen,
+            &e.file,
+            e.line,
+            Rule::LockOrder,
+            &format!("cycle:{}:{}", e.from, e.to),
+            msg,
+        );
+    }
+}
+
+/// BFS from `start` to `target` over the lock graph; returns the edge
+/// path when reachable.
+fn find_path(
+    edges: &[Edge],
+    adj: &BTreeMap<String, Vec<usize>>,
+    start: &str,
+    target: &str,
+) -> Option<Vec<usize>> {
+    let mut parent: BTreeMap<String, usize> = BTreeMap::new();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    queue.push_back(start.to_string());
+    while let Some(u) = queue.pop_front() {
+        let Some(outs) = adj.get(&u) else {
+            continue;
+        };
+        for &ei in outs {
+            let to = &edges[ei].to;
+            if to == start || parent.contains_key(to) {
+                continue;
+            }
+            parent.insert(to.clone(), ei);
+            if to == target {
+                let mut path = vec![ei];
+                let mut node = edges[ei].from.clone();
+                while node != start {
+                    let &pe = parent.get(&node)?;
+                    path.push(pe);
+                    node = edges[pe].from.clone();
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(to.clone());
+        }
+    }
+    None
+}
+
+/// Per-counter `(file, line)` sites of every `fetch_add` and `fetch_sub`
+/// in the tree, for the pairing check.
+type CounterTotals = BTreeMap<String, (Vec<(String, u32)>, Vec<(String, u32)>)>;
+
+/// The three `in-flight-balance` checks: early-exit leaks, visibility
+/// ordering, and tree-wide add/sub pairing.
+fn in_flight_findings(
+    files: &[FileGraphInput<'_>],
+    fns: &[FnData],
+    findings: &mut Vec<Finding>,
+    seen: &mut BTreeSet<(String, u32, Rule, String)>,
+) {
+    let mut totals: CounterTotals = BTreeMap::new();
+    for f in fns {
+        let rel = files[f.file].rel;
+        let toks = files[f.file].tokens;
+        for a in &f.adds {
+            totals
+                .entry(a.counter.clone())
+                .or_default()
+                .0
+                .push((rel.to_string(), a.line));
+            let end = brace_scope_end(toks, a.tok, f.body.1);
+            let mut j = a.tok + 1;
+            while j < end {
+                let exit = match &toks[j].kind {
+                    TokenKind::Ident(s) => s == "return",
+                    TokenKind::Punct(p) => p == "?",
+                    _ => false,
+                };
+                if exit {
+                    let balanced = f
+                        .subs
+                        .iter()
+                        .any(|s| s.counter == a.counter && s.tok > a.tok && s.tok < j);
+                    if !balanced {
+                        emit(
+                            findings,
+                            seen,
+                            rel,
+                            toks[j].line,
+                            Rule::InFlightBalance,
+                            &format!("leak:{}", a.counter),
+                            format!(
+                                "`{}.fetch_add` (line {}) escapes through this early exit \
+                                 without a matching `fetch_sub` in `{}` — the in-flight count \
+                                 leaks and quiescence never observes zero",
+                                a.counter, a.line, f.display
+                            ),
+                        );
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        for s in &f.subs {
+            totals
+                .entry(s.counter.clone())
+                .or_default()
+                .1
+                .push((rel.to_string(), s.line));
+        }
+        // Increment-before-visibility: nothing may publish the event
+        // before the first add of this function.
+        if let Some(first) = f.adds.first() {
+            let mut j = f.body.0;
+            while j < first.tok {
+                if let Some(n) = ident(toks, j) {
+                    if VISIBILITY_CALLS.contains(&n)
+                        && j >= 1
+                        && punct(toks, j - 1) == Some(".")
+                        && is_call(toks, j, f.body.1)
+                    {
+                        emit(
+                            findings,
+                            seen,
+                            rel,
+                            first.line,
+                            Rule::InFlightBalance,
+                            &format!("vis:{}", first.counter),
+                            format!(
+                                "`{}.fetch_add` happens after `{n}(..)` on line {} in `{}` — \
+                                 increment before making the event visible, or a racing \
+                                 quiescence check can observe zero while work is in flight",
+                                first.counter, toks[j].line, f.display
+                            ),
+                        );
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+    for (counter, (adds, subs)) in &totals {
+        if !adds.is_empty() && subs.is_empty() {
+            let (file, line) = &adds[0];
+            emit(
+                findings,
+                seen,
+                file,
+                *line,
+                Rule::InFlightBalance,
+                &format!("pair:{counter}"),
+                format!(
+                    "`{counter}.fetch_add` has no matching `{counter}.fetch_sub` anywhere in \
+                     the tree — the count can only grow, so quiescence never completes"
+                ),
+            );
+        }
+        if adds.is_empty() && !subs.is_empty() {
+            let (file, line) = &subs[0];
+            emit(
+                findings,
+                seen,
+                file,
+                *line,
+                Rule::InFlightBalance,
+                &format!("pair:{counter}"),
+                format!(
+                    "`{counter}.fetch_sub` has no matching `{counter}.fetch_add` anywhere in \
+                     the tree — the count can go negative and quiescence reports idle early"
+                ),
+            );
+        }
+    }
+}
+
+fn disp<'a>(fns: &'a [FnData], fn_index: &BTreeMap<Key, usize>, k: &Key) -> &'a str {
+    fn_index.get(k).map_or("?", |&i| fns[i].display.as_str())
+}
+
+fn push_edge(edges: &mut Vec<Edge>, seen: &mut BTreeSet<(String, String, String, u32)>, e: Edge) {
+    if seen.insert((e.from.clone(), e.to.clone(), e.file.clone(), e.line)) {
+        edges.push(e);
+    }
+}
+
+fn emit(
+    findings: &mut Vec<Finding>,
+    seen: &mut BTreeSet<(String, u32, Rule, String)>,
+    file: &str,
+    line: u32,
+    rule: Rule,
+    key: &str,
+    message: String,
+) {
+    if seen.insert((file.to_string(), line, rule, key.to_string())) {
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+            waiver: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex;
+    use crate::parse::parse_items;
+
+    fn analyze_src(src: &str) -> Vec<Finding> {
+        let scan = lex::scan(src);
+        let items = parse_items(&scan);
+        let input = FileGraphInput {
+            rel: "a.rs",
+            tokens: &scan.tokens,
+            items: &items,
+            exempt: false,
+            cut_lines: Vec::new(),
+        };
+        analyze(&[input])
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<Rule> {
+        f.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn blocking_calls_is_sorted_for_binary_search() {
+        assert!(BLOCKING_CALLS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn opposite_lock_orders_two_calls_deep_are_a_cycle() {
+        let src = "struct P { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl P {\n\
+             fn forward(&self) { let g = self.a.lock().unwrap_or_else(|e| e.into_inner()); \
+             self.take_b(); drop(g); }\n\
+             fn take_b(&self) { let h = self.b.lock().unwrap_or_else(|e| e.into_inner()); \
+             let _ = h; }\n\
+             fn backward(&self) { let g = self.b.lock().unwrap_or_else(|e| e.into_inner()); \
+             self.take_a(); drop(g); }\n\
+             fn take_a(&self) { let h = self.a.lock().unwrap_or_else(|e| e.into_inner()); \
+             let _ = h; }\n\
+             }";
+        let f = analyze_src(src);
+        let cycles: Vec<_> = f.iter().filter(|x| x.rule == Rule::LockOrder).collect();
+        assert_eq!(cycles.len(), 2, "{f:?}");
+        assert!(cycles[0].message.contains("lock-order cycle"), "{f:?}");
+        assert!(cycles[0].message.contains("opposite order"), "{f:?}");
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let src = "struct P { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl P {\n\
+             fn one(&self) { let g = self.a.lock().unwrap_or_else(|e| e.into_inner()); \
+             let h = self.b.lock().unwrap_or_else(|e| e.into_inner()); let _ = (g, h); }\n\
+             fn two(&self) { let g = self.a.lock().unwrap_or_else(|e| e.into_inner()); \
+             let h = self.b.lock().unwrap_or_else(|e| e.into_inner()); let _ = (g, h); }\n\
+             }";
+        let f = analyze_src(src);
+        assert!(!rules_of(&f).contains(&Rule::LockOrder), "{f:?}");
+    }
+
+    #[test]
+    fn reentrant_lock_is_a_self_deadlock() {
+        let src = "struct P { a: Mutex<u32> }\n\
+             impl P {\n\
+             fn twice(&self) { let g = self.a.lock().unwrap_or_else(|e| e.into_inner()); \
+             let h = self.a.lock().unwrap_or_else(|e| e.into_inner()); let _ = (g, h); }\n\
+             }";
+        let f = analyze_src(src);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == Rule::LockOrder && x.message.contains("re-entrant")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn guard_across_send_is_flagged_and_drop_releases() {
+        let held = "fn publish(log: &Mutex<Vec<u32>>, tx: &Sender<u32>, v: u32) {\n\
+             let mut held = log.lock().unwrap_or_else(|e| e.into_inner());\n\
+             held.push(v);\n\
+             let _ = tx.send(v);\n\
+             }";
+        let f = analyze_src(held);
+        assert_eq!(rules_of(&f), vec![Rule::GuardBlocking], "{f:?}");
+        assert_eq!(f[0].line, 4);
+
+        let dropped = "fn publish(log: &Mutex<Vec<u32>>, tx: &Sender<u32>, v: u32) {\n\
+             let mut held = log.lock().unwrap_or_else(|e| e.into_inner());\n\
+             held.push(v);\n\
+             drop(held);\n\
+             let _ = tx.send(v);\n\
+             }";
+        assert!(analyze_src(dropped).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = "fn publish(log: &Mutex<Vec<u32>>, tx: &Sender<u32>, v: u32) {\n\
+             log.lock().unwrap_or_else(|e| e.into_inner()).push(v);\n\
+             let _ = tx.send(v);\n\
+             }";
+        assert!(analyze_src(src).is_empty());
+    }
+
+    #[test]
+    fn blocking_behind_a_call_is_flagged_transitively() {
+        let src = "fn outer(log: &Mutex<u32>) {\n\
+             let g = log.lock().unwrap_or_else(|e| e.into_inner());\n\
+             slow();\n\
+             let _ = g;\n\
+             }\n\
+             fn slow() { std::thread::sleep(std::time::Duration::from_secs(1)); }";
+        let f = analyze_src(src);
+        assert_eq!(rules_of(&f), vec![Rule::GuardBlocking], "{f:?}");
+        assert!(f[0].message.contains("may block"), "{f:?}");
+        assert!(f[0].message.contains("`slow`"), "{f:?}");
+    }
+
+    #[test]
+    fn unattributable_lock_is_reported() {
+        let src = "fn odd(pair: (Mutex<u32>, u32)) { let g = (pair.0).lock(); let _ = g; }";
+        let f = analyze_src(src);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == Rule::LockOrder && x.message.contains("cannot attribute")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn early_return_after_fetch_add_leaks() {
+        let src = "fn send_event(in_flight: &AtomicI64, ready: bool) -> Result<(), ()> {\n\
+             in_flight.fetch_add(1, Ordering::SeqCst);\n\
+             if !ready { return Err(()); }\n\
+             in_flight.fetch_sub(1, Ordering::SeqCst);\n\
+             Ok(())\n\
+             }";
+        let f = analyze_src(src);
+        assert_eq!(rules_of(&f), vec![Rule::InFlightBalance], "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("early exit"), "{f:?}");
+    }
+
+    #[test]
+    fn decrement_before_the_exit_balances() {
+        let src = "fn send_event(in_flight: &AtomicI64, ready: bool) -> Result<(), ()> {\n\
+             in_flight.fetch_add(1, Ordering::SeqCst);\n\
+             if !ready { in_flight.fetch_sub(1, Ordering::SeqCst); return Err(()); }\n\
+             Ok(())\n\
+             }\n\
+             fn other(in_flight: &AtomicI64) { in_flight.fetch_sub(1, Ordering::SeqCst); }";
+        assert!(analyze_src(src).is_empty());
+    }
+
+    #[test]
+    fn visibility_before_increment_is_flagged() {
+        let src = "fn send_event(in_flight: &AtomicI64, tx: &Sender<u32>) {\n\
+             let _ = tx.send(7);\n\
+             in_flight.fetch_add(1, Ordering::SeqCst);\n\
+             }\n\
+             fn other(in_flight: &AtomicI64) { in_flight.fetch_sub(1, Ordering::SeqCst); }";
+        let f = analyze_src(src);
+        assert_eq!(rules_of(&f), vec![Rule::InFlightBalance], "{f:?}");
+        assert!(
+            f[0].message.contains("before making the event visible"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn add_without_any_sub_in_the_tree_is_flagged() {
+        let src = "fn only_up(in_flight: &AtomicI64) { in_flight.fetch_add(1, Ordering::SeqCst); }";
+        let f = analyze_src(src);
+        assert_eq!(rules_of(&f), vec![Rule::InFlightBalance], "{f:?}");
+        assert!(f[0].message.contains("no matching"), "{f:?}");
+    }
+
+    #[test]
+    fn unrelated_counters_are_ignored() {
+        let src = "fn tick(next: &AtomicU64) { next.fetch_add(1, Ordering::Relaxed); }";
+        assert!(analyze_src(src).is_empty());
+    }
+
+    #[test]
+    fn accessor_fn_receivers_attribute_to_the_accessor_name() {
+        let src = "fn install() {\n\
+             let g = exclusivity().lock().unwrap_or_else(|e| e.into_inner());\n\
+             let h = sink().lock().unwrap_or_else(|e| e.into_inner());\n\
+             let _ = (g, h);\n\
+             }";
+        // One direction only: an edge, but no cycle.
+        assert!(analyze_src(src).is_empty());
+    }
+}

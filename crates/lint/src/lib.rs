@@ -15,7 +15,14 @@
 //!   *transitively*: functions marked `// dsj-lint: hot-path` (plus the
 //!   configured [`callgraph::HOT_PATH_ROOTS`]) are roots, every workspace
 //!   function reachable from them is scanned, and calls the resolver
-//!   cannot follow surface as `hot-path-opaque-call` findings.
+//!   cannot follow surface as `hot-path-opaque-call` findings;
+//! - **concurrency & protocol discipline** — [`concurrency`] proves the
+//!   may-hold-while-acquiring lock graph acyclic (`lock-order`), flags
+//!   guards held across blocking calls (`guard-across-blocking`) and
+//!   checks the `in_flight` quiescence counter's add/sub balance
+//!   (`in-flight-balance`); [`protocol`] cross-checks every wire enum
+//!   variant against its four mandatory homes — encode, decode,
+//!   `wire_bytes` accounting and engine handling (`wire-exhaustive`).
 //!
 //! Findings can be waived in place with
 //! `// dsj-lint: allow(<rule>) — <reason>`; the waiver covers the pragma's
@@ -28,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod callgraph;
+pub mod concurrency;
 pub mod lex;
 pub mod parse;
+pub mod protocol;
 pub mod report;
 pub mod rules;
 
-pub use report::{finding_id, render_json, render_waivers};
+pub use report::{baseline_ids, diff_baseline, finding_id, render_json, render_waivers};
 pub use rules::{classify_fixture, classify_workspace, lint_source, Finding, Rule, RULES};
 
 use std::fs;
@@ -172,7 +181,9 @@ pub fn lint_tree_report(root: &Path, mode: Mode) -> io::Result<Report> {
                 .collect(),
         })
         .collect();
-    let hot = callgraph::analyze(&inputs, mode == Mode::Workspace);
+    let mut hot = callgraph::analyze(&inputs, mode == Mode::Workspace);
+    hot.extend(concurrency::analyze(&inputs));
+    hot.extend(protocol::analyze(&inputs, mode == Mode::Workspace));
     drop(inputs);
     let mut unattached: Vec<Finding> = Vec::new();
     for f in hot {

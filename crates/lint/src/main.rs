@@ -4,11 +4,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dsj_lint::{is_workspace_root, lint_tree_report, render_json, render_waivers, Mode, Report};
+use dsj_lint::{
+    baseline_ids, diff_baseline, is_workspace_root, lint_tree_report, render_json, render_waivers,
+    Mode, Report, Rule,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: dsj-lint [PATH] [--format human|json] [--waivers]
+                [--baseline FILE] [--only RULE[,RULE..]]
 
 Lints every .rs file under PATH (default: the enclosing workspace root).
 A PATH whose Cargo.toml declares [workspace] gets the workspace path rules
@@ -21,6 +25,13 @@ in fixture mode (every rule armed, marker-derived hot-path roots only).
   --waivers             report-only waiver audit: list every
                         `dsj-lint: allow(..)` pragma with its hit count,
                         then exit 0.
+  --baseline FILE       diff mode: FILE is a previous `--format json`
+                        report; fail (exit 1) only on findings NOT in it,
+                        printing `+ id` for each new finding and `- id`
+                        for each baseline entry the tree no longer
+                        produces (prune those from the baseline).
+  --only RULE[,RULE..]  restrict the run to the named rule ids; findings
+                        and waivers for every other rule are dropped.
 
 exit codes: 0 clean, 1 unwaived violations, 2 usage/IO error";
 
@@ -34,6 +45,8 @@ struct Args {
     path: Option<PathBuf>,
     format: Format,
     waivers_only: bool,
+    baseline: Option<PathBuf>,
+    only: Option<Vec<Rule>>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -41,6 +54,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         path: None,
         format: Format::Human,
         waivers_only: false,
+        baseline: None,
+        only: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -59,6 +74,29 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 };
             }
             "--waivers" => parsed.waivers_only = true,
+            "--baseline" => {
+                parsed.baseline = match it.next() {
+                    Some(p) => Some(PathBuf::from(p)),
+                    None => return Err("--baseline expects a report file path".to_string()),
+                };
+            }
+            "--only" => {
+                let list = match it.next() {
+                    Some(l) => l,
+                    None => return Err("--only expects a comma-separated rule list".to_string()),
+                };
+                let mut rules = Vec::new();
+                for id in list.split(',').filter(|s| !s.is_empty()) {
+                    match Rule::parse(id) {
+                        Some(r) => rules.push(r),
+                        None => return Err(format!("--only: unknown rule id `{id}`")),
+                    }
+                }
+                if rules.is_empty() {
+                    return Err("--only expects at least one rule id".to_string());
+                }
+                parsed.only = Some(rules);
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path if parsed.path.is_none() => parsed.path = Some(PathBuf::from(path)),
             extra => return Err(format!("unexpected extra argument `{extra}`")),
@@ -98,17 +136,48 @@ fn main() -> ExitCode {
     } else {
         Mode::Fixture
     };
-    let report = match lint_tree_report(&root, mode) {
+    let mut report = match lint_tree_report(&root, mode) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("dsj-lint: io error walking {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if let Some(only) = &args.only {
+        report.findings.retain(|f| only.contains(&f.rule));
+        report.waivers.retain(|w| only.contains(&w.rule));
+    }
 
     if args.waivers_only {
         print!("{}", render_waivers(&report));
         return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &args.baseline {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(s) => baseline_ids(&s),
+            Err(e) => {
+                eprintln!("dsj-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let (added, removed) = diff_baseline(&baseline, &report);
+        for id in &added {
+            println!("+ {id}");
+        }
+        for id in &removed {
+            println!("- {id}");
+        }
+        println!(
+            "dsj-lint ({}): {} new finding(s), {} resolved since baseline",
+            report.mode.name(),
+            added.len(),
+            removed.len()
+        );
+        return if added.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
     }
     match args.format {
         Format::Json => print!("{}", render_json(&report)),

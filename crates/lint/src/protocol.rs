@@ -1,0 +1,474 @@
+//! Wire-protocol conformance: the `wire-exhaustive` rule family.
+//!
+//! Every variant of a configured wire enum must appear in each of its
+//! four mandatory homes — the encode arm, the decode arm, the
+//! `wire_bytes` accounting arm, and the engine handling arm. A variant
+//! that ships without one of them either cannot round-trip, is
+//! miscounted by the communication-budget accountant, or is silently
+//! dropped by the engine (a `_ =>` wildcard deliberately does *not*
+//! count as handling: the silent-drop case is exactly what this rule
+//! exists to catch). The check is token-level: a variant is "present" in
+//! a role when `Enum::Variant` (or `Self::Variant` inside the enum's own
+//! impl) occurs in the body of any function whose name belongs to that
+//! role's configured set, with presence unioned across all candidates —
+//! so `apply_summary` may be split per strategy, as it is today.
+//!
+//! In workspace mode a configured enum that no longer exists, or a role
+//! with no candidate function at all, is itself a finding: renames must
+//! update [`WIRE_CHECKS`] rather than silently disarm the proof. In
+//! fixture (single-directory) mode absent enums and roles are skipped so
+//! a fixture can seed exactly one missing arm.
+
+use crate::callgraph::FileGraphInput;
+use crate::lex::{Token, TokenKind};
+use crate::rules::{Finding, Rule};
+
+/// Where the configuration below lives — findings about the config
+/// itself (an enum that no longer resolves) point here.
+pub const CONFIG_FILE: &str = "crates/lint/src/protocol.rs";
+
+/// One mandatory home for a wire enum's variants.
+pub struct WireRole {
+    /// Human name used in findings ("encode", "engine handling", ...).
+    pub role: &'static str,
+    /// Function names whose bodies make up the arm set, unioned.
+    pub fns: &'static [&'static str],
+}
+
+/// A wire enum and its four mandatory homes.
+pub struct WireCheck {
+    /// The enum's name as written in source.
+    pub enum_name: &'static str,
+    /// The four roles every variant must appear in.
+    pub roles: [WireRole; 4],
+}
+
+/// The wire enums the workspace must keep exhaustively plumbed.
+pub const WIRE_CHECKS: [WireCheck; 2] = [
+    WireCheck {
+        enum_name: "Msg",
+        roles: [
+            WireRole {
+                role: "encode",
+                fns: &["encode_into"],
+            },
+            WireRole {
+                role: "decode",
+                fns: &["decode_body"],
+            },
+            WireRole {
+                role: "size accounting",
+                fns: &["wire_bytes"],
+            },
+            WireRole {
+                role: "engine handling",
+                fns: &["handle_message"],
+            },
+        ],
+    },
+    WireCheck {
+        enum_name: "SummaryPayload",
+        roles: [
+            WireRole {
+                role: "encode",
+                fns: &["encode_payload"],
+            },
+            WireRole {
+                role: "decode",
+                fns: &["decode_payload"],
+            },
+            WireRole {
+                role: "size accounting",
+                fns: &["wire_bytes"],
+            },
+            WireRole {
+                role: "engine handling",
+                fns: &["apply_summary"],
+            },
+        ],
+    },
+];
+
+/// A variant of a configured enum, with its definition site.
+struct Variant {
+    name: String,
+    file: String,
+    line: u32,
+}
+
+/// Where a configured enum was defined.
+struct EnumDef {
+    file: String,
+    line: u32,
+    variants: Vec<Variant>,
+}
+
+fn punct(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(p)) => Some(p.as_str()),
+        _ => None,
+    }
+}
+
+fn ident(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Runs the wire-exhaustiveness pass. `workspace` arms the
+/// missing-enum/missing-role config findings.
+pub fn analyze(files: &[FileGraphInput<'_>], workspace: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for check in &WIRE_CHECKS {
+        let def = find_enum(files, check.enum_name);
+        let Some(def) = def else {
+            if workspace {
+                findings.push(finding(
+                    CONFIG_FILE,
+                    1,
+                    format!(
+                        "configured wire enum `{}` not found in any workspace file — update \
+                         WIRE_CHECKS if it was renamed or removed",
+                        check.enum_name
+                    ),
+                ));
+            }
+            continue;
+        };
+        for role in &check.roles {
+            // Candidate arm-set functions, in (file, line) order.
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            for (fi, f) in files.iter().enumerate() {
+                if f.exempt {
+                    continue;
+                }
+                for (ii, item) in f.items.fns.iter().enumerate() {
+                    if item.gated || item.body.is_none() {
+                        continue;
+                    }
+                    if role.fns.contains(&item.name.as_str()) {
+                        candidates.push((fi, ii));
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                if workspace {
+                    findings.push(finding(
+                        &def.file,
+                        def.line,
+                        format!(
+                            "no {} arm set found for `{}` — expected at least one workspace fn \
+                             named one of [{}]",
+                            role.role,
+                            check.enum_name,
+                            role.fns.join(", ")
+                        ),
+                    ));
+                }
+                continue;
+            }
+            for v in &def.variants {
+                let present = candidates
+                    .iter()
+                    .any(|&(fi, ii)| variant_in_body(files, fi, ii, check.enum_name, &v.name));
+                if !present {
+                    let (fi, ii) = candidates[0];
+                    let item = &files[fi].items.fns[ii];
+                    findings.push(finding(
+                        files[fi].rel,
+                        item.line,
+                        format!(
+                            "`{}::{}` (defined at {}:{}) never appears in the {} arm set \
+                             [{}] — a wildcard match would silently drop or miscount it; \
+                             add an explicit arm",
+                            check.enum_name,
+                            v.name,
+                            v.file,
+                            v.line,
+                            role.role,
+                            role.fns.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn finding(file: &str, line: u32, message: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule: Rule::WireExhaustive,
+        message,
+        waiver: None,
+    }
+}
+
+/// Finds `enum <name> { .. }` in the non-exempt files and extracts its
+/// variant names. Multiple definitions (there are none today) union
+/// their variants; the first definition is the reported site.
+fn find_enum(files: &[FileGraphInput<'_>], name: &str) -> Option<EnumDef> {
+    let mut def: Option<EnumDef> = None;
+    for f in files {
+        if f.exempt {
+            continue;
+        }
+        let toks = f.tokens;
+        let mut i = 0;
+        while i + 1 < toks.len() {
+            if ident(toks, i) != Some("enum") || ident(toks, i + 1) != Some(name) {
+                i += 1;
+                continue;
+            }
+            // Skip generics between the name and the opening brace.
+            let mut j = i + 2;
+            if punct(toks, j) == Some("<") {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match punct(toks, j) {
+                        Some("<") => depth += 1,
+                        Some(">") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            if punct(toks, j) != Some("{") {
+                i += 1;
+                continue;
+            }
+            let line = toks[i].line;
+            let variants = collect_variants(toks, j, f.rel);
+            match &mut def {
+                Some(d) => d.variants.extend(variants),
+                None => {
+                    def = Some(EnumDef {
+                        file: f.rel.to_string(),
+                        line,
+                        variants,
+                    });
+                }
+            }
+            i = j;
+        }
+    }
+    def
+}
+
+/// Collects variant names from the brace group opening at `open`: the
+/// first identifier after the `{` and after each depth-1 comma, with
+/// `#[..]` attribute runs skipped and payload tokens (depth > 1)
+/// ignored.
+fn collect_variants(toks: &[Token], open: usize, rel: &str) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut expect = false;
+    let mut j = open;
+    while j < toks.len() {
+        match punct(toks, j) {
+            Some("{") | Some("(") | Some("[") => {
+                depth += 1;
+                if depth == 1 {
+                    expect = true;
+                }
+                j += 1;
+                continue;
+            }
+            Some("}") | Some(")") | Some("]") => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                j += 1;
+                continue;
+            }
+            Some(",") if depth == 1 => {
+                expect = true;
+                j += 1;
+                continue;
+            }
+            Some("#") if depth == 1 && punct(toks, j + 1) == Some("[") => {
+                // Skip the attribute's bracket group.
+                let mut adepth = 0i32;
+                j += 1;
+                while j < toks.len() {
+                    match punct(toks, j) {
+                        Some("[") => adepth += 1,
+                        Some("]") => {
+                            adepth -= 1;
+                            if adepth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        if depth == 1 && expect {
+            if let Some(n) = ident(toks, j) {
+                variants.push(Variant {
+                    name: n.to_string(),
+                    file: rel.to_string(),
+                    line: toks[j].line,
+                });
+                expect = false;
+            }
+        }
+        j += 1;
+    }
+    variants
+}
+
+/// `true` when `Enum::Variant` — or `Self::Variant` inside the enum's
+/// own impl — occurs in the body of function `(fi, ii)`.
+fn variant_in_body(
+    files: &[FileGraphInput<'_>],
+    fi: usize,
+    ii: usize,
+    enum_name: &str,
+    variant: &str,
+) -> bool {
+    let f = &files[fi];
+    let item = &f.items.fns[ii];
+    let Some((start, end)) = item.body else {
+        return false;
+    };
+    let toks = f.tokens;
+    let own_impl = item.owner.as_deref() == Some(enum_name);
+    let mut i = start;
+    let end = end.min(toks.len());
+    while i + 2 < end {
+        if punct(toks, i + 1) == Some("::") && ident(toks, i + 2) == Some(variant) {
+            match ident(toks, i) {
+                Some(q) if q == enum_name => return true,
+                Some("Self") if own_impl => return true,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex;
+    use crate::parse::parse_items;
+
+    fn analyze_src(src: &str, workspace: bool) -> Vec<Finding> {
+        let scan = lex::scan(src);
+        let items = parse_items(&scan);
+        let input = FileGraphInput {
+            rel: "a.rs",
+            tokens: &scan.tokens,
+            items: &items,
+            exempt: false,
+            cut_lines: Vec::new(),
+        };
+        analyze(&[input], workspace)
+    }
+
+    const COMPLETE: &str = "pub enum Msg { Tuple { seq: u64 }, Leave(u16) }\n\
+         fn encode_into(m: &Msg) { match m { Msg::Tuple { .. } => {}, Msg::Leave(_) => {} } }\n\
+         fn decode_body(k: u8) -> Msg { if k == 0 { Msg::Tuple { seq: 0 } } else { \
+         Msg::Leave(0) } }\n\
+         impl Msg { pub fn wire_bytes(&self) -> usize { match self { Self::Tuple { .. } => 9, \
+         Self::Leave(_) => 3 } } }\n\
+         fn handle_message(m: Msg) { match m { Msg::Tuple { .. } => {}, Msg::Leave(_) => {} } }";
+
+    #[test]
+    fn fully_plumbed_enum_is_clean() {
+        assert!(analyze_src(COMPLETE, false).is_empty());
+    }
+
+    #[test]
+    fn missing_engine_arm_is_flagged_with_wildcards_not_counting() {
+        let src = "pub enum Msg { Tuple { seq: u64 }, Leave(u16) }\n\
+             fn encode_into(m: &Msg) { match m { Msg::Tuple { .. } => {}, Msg::Leave(_) => {} } }\n\
+             fn decode_body(k: u8) -> Msg { if k == 0 { Msg::Tuple { seq: 0 } } else { \
+             Msg::Leave(0) } }\n\
+             impl Msg { pub fn wire_bytes(&self) -> usize { match self { Self::Tuple { .. } => 9, \
+             Self::Leave(_) => 3 } } }\n\
+             fn handle_message(m: Msg) { match m { Msg::Tuple { .. } => {}, _ => {} } }";
+        let f = analyze_src(src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::WireExhaustive);
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("`Msg::Leave`"), "{f:?}");
+        assert!(f[0].message.contains("engine handling"), "{f:?}");
+    }
+
+    #[test]
+    fn self_qualified_arms_count_only_inside_the_enums_impl() {
+        // `Self::Leave` in an unrelated impl must not satisfy the check.
+        let src = "pub enum Msg { Leave(u16) }\n\
+             struct Other;\n\
+             impl Other { fn handle_message(&self) { let _ = Self::Leave; } }\n\
+             fn encode_into(m: &Msg) { match m { Msg::Leave(_) => {} } }\n\
+             fn decode_body(_k: u8) -> Msg { Msg::Leave(0) }\n\
+             impl Msg { pub fn wire_bytes(&self) -> usize { match self { Self::Leave(_) => 3 } } }";
+        let f = analyze_src(src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("engine handling"), "{f:?}");
+    }
+
+    #[test]
+    fn fixture_mode_skips_absent_roles_and_enums() {
+        // Only the engine arm exists — fixture mode checks just that one.
+        let src = "pub enum Msg { Tuple(u64), Leave(u16) }\n\
+             fn handle_message(m: Msg) { match m { Msg::Tuple(_) => {}, _ => {} } }";
+        let f = analyze_src(src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`Msg::Leave`"), "{f:?}");
+        // No Msg/SummaryPayload at all: nothing to check.
+        assert!(analyze_src("fn unrelated() {}", false).is_empty());
+    }
+
+    #[test]
+    fn workspace_mode_reports_missing_enums_and_roles() {
+        let f = analyze_src("fn unrelated() {}", true);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.file == CONFIG_FILE), "{f:?}");
+        assert!(f[0].message.contains("`Msg`"), "{f:?}");
+        assert!(f[1].message.contains("`SummaryPayload`"), "{f:?}");
+
+        let src = "pub enum Msg { Tuple(u64) }";
+        let f = analyze_src(src, true);
+        // Four missing role sets for Msg plus the missing SummaryPayload.
+        assert_eq!(f.len(), 5, "{f:?}");
+        assert!(
+            f.iter().any(|x| x.message.contains("no encode arm set")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn attributes_and_payload_fields_are_not_variants() {
+        let src = "pub enum Msg {\n\
+             #[allow(dead_code)]\n\
+             Tuple { seq: u64, extra: Vec<u8> },\n\
+             Leave(u16),\n\
+             }\n\
+             fn handle_message(m: Msg) { match m { Msg::Tuple { .. } => {}, \
+             Msg::Leave(_) => {} } }";
+        let f = analyze_src(src, false);
+        // seq/extra/allow must not be treated as variants needing arms.
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

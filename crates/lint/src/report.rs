@@ -96,6 +96,86 @@ pub fn render_waivers(report: &Report) -> String {
     out
 }
 
+/// Extracts the stable ids of every **unwaived** finding from a JSON
+/// report previously written by [`render_json`] — the parsing half of
+/// `--baseline` mode. A line scanner is enough because the writer is
+/// ours and byte-stable: each finding object carries `"id"` before
+/// `"waived"`, one key per line. Input that never matches yields an
+/// empty list rather than an error, so a truncated or hand-edited
+/// baseline fails closed (everything current looks new).
+pub fn baseline_ids(json: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current: Option<String> = None;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"id\": \"") {
+            if let Some(raw) = rest.strip_suffix("\",") {
+                current = Some(unesc(raw));
+            }
+        } else if line == "\"waived\": false," {
+            if let Some(id) = current.take() {
+                out.push(id);
+            }
+        } else if line == "\"waived\": true," {
+            current = None;
+        }
+    }
+    out
+}
+
+/// Diffs the current report against a baseline id list: `(added,
+/// removed)` where *added* are unwaived findings not in the baseline
+/// (these fail the lint) and *removed* are baseline ids the tree no
+/// longer produces (progress — prune them from the baseline). Both
+/// sides keep their source order; duplicates collapse.
+pub fn diff_baseline(baseline: &[String], report: &Report) -> (Vec<String>, Vec<String>) {
+    let current: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.is_violation())
+        .map(finding_id)
+        .collect();
+    let mut added = Vec::new();
+    for id in &current {
+        if !baseline.contains(id) && !added.contains(id) {
+            added.push(id.clone());
+        }
+    }
+    let mut removed = Vec::new();
+    for id in baseline {
+        if !current.contains(id) && !removed.contains(id) {
+            removed.push(id.clone());
+        }
+    }
+    (added, removed)
+}
+
+/// Reverses [`esc`] for the id strings read back out of a baseline.
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -190,6 +270,36 @@ mod tests {
         let json = render_json(&r);
         assert!(json.contains("\"findings\": [],"), "{json}");
         assert!(json.contains("\"waivers\": [],"), "{json}");
+    }
+
+    #[test]
+    fn baseline_roundtrips_unwaived_ids_only() {
+        let r = demo_report();
+        let ids = baseline_ids(&render_json(&r));
+        // The waived finding at a.rs:9 must not enter the baseline.
+        assert_eq!(ids, vec!["hot-path-alloc@a.rs:3".to_string()]);
+    }
+
+    #[test]
+    fn baseline_of_garbage_is_empty() {
+        assert!(baseline_ids("not json at all").is_empty());
+        assert!(baseline_ids("").is_empty());
+    }
+
+    #[test]
+    fn diff_splits_added_and_removed() {
+        let r = demo_report();
+        let baseline = vec![
+            "hot-path-alloc@a.rs:3".to_string(),
+            "panic@gone.rs:1".to_string(),
+        ];
+        let (added, removed) = diff_baseline(&baseline, &r);
+        assert!(added.is_empty(), "{added:?}");
+        assert_eq!(removed, vec!["panic@gone.rs:1".to_string()]);
+
+        let (added, removed) = diff_baseline(&[], &r);
+        assert_eq!(added, vec!["hot-path-alloc@a.rs:3".to_string()]);
+        assert!(removed.is_empty(), "{removed:?}");
     }
 
     #[test]

@@ -34,13 +34,29 @@ pub enum Rule {
     /// unknown std method) — or a resolvable call deliberately cut from
     /// traversal by a waiver pragma.
     HotPathOpaque,
+    /// A cycle in the may-hold-while-acquiring lock graph — two code paths
+    /// that take the same named locks in opposite orders can deadlock
+    /// (concurrency pass, [`crate::concurrency`]).
+    LockOrder,
+    /// A lock guard held across a blocking call (`send`/`recv`/`read`/
+    /// `write`/`join`/`accept`, see [`crate::concurrency::BLOCKING_CALLS`]).
+    GuardBlocking,
+    /// An `in_flight.fetch_add` whose increment can escape without a
+    /// matching `fetch_sub` (early-return leak, increment-after-visibility,
+    /// or a counter with no decrement side at all) — breaks the quiescence
+    /// invariant the live harness rests on.
+    InFlightBalance,
+    /// A wire enum variant (`Msg`/`SummaryPayload`) missing from one of
+    /// its four mandatory homes: encode arm, decode arm, `wire_bytes`
+    /// accounting arm, engine handling arm ([`crate::protocol`]).
+    WireExhaustive,
     /// A malformed or unused `dsj-lint: allow(..)` pragma. Cannot itself
     /// be waived.
     Pragma,
 }
 
 /// All waivable rules, in reporting order.
-pub const RULES: [Rule; 10] = [
+pub const RULES: [Rule; 14] = [
     Rule::Panic,
     Rule::HashIter,
     Rule::WallClock,
@@ -51,6 +67,10 @@ pub const RULES: [Rule; 10] = [
     Rule::HotPathPanic,
     Rule::HotPathNondet,
     Rule::HotPathOpaque,
+    Rule::LockOrder,
+    Rule::GuardBlocking,
+    Rule::InFlightBalance,
+    Rule::WireExhaustive,
 ];
 
 impl Rule {
@@ -67,6 +87,10 @@ impl Rule {
             Rule::HotPathPanic => "hot-path-panic",
             Rule::HotPathNondet => "hot-path-nondet",
             Rule::HotPathOpaque => "hot-path-opaque-call",
+            Rule::LockOrder => "lock-order",
+            Rule::GuardBlocking => "guard-across-blocking",
+            Rule::InFlightBalance => "in-flight-balance",
+            Rule::WireExhaustive => "wire-exhaustive",
             Rule::Pragma => "pragma",
         }
     }
@@ -84,6 +108,20 @@ impl Rule {
             self,
             Rule::HotPathAlloc | Rule::HotPathPanic | Rule::HotPathNondet | Rule::HotPathOpaque
         )
+    }
+
+    /// `true` for every rule only the whole-tree pass can produce — the
+    /// hot-path family plus the v3 concurrency/protocol families. Their
+    /// pragmas are never reported stale by single-file linting.
+    pub fn is_tree_level(self) -> bool {
+        self.is_hot_path()
+            || matches!(
+                self,
+                Rule::LockOrder
+                    | Rule::GuardBlocking
+                    | Rule::InFlightBalance
+                    | Rule::WireExhaustive
+            )
     }
 }
 
@@ -200,7 +238,7 @@ pub fn lint_source(relpath: &str, source: &str, class: FileClass) -> Vec<Finding
     let mut hits = vec![0usize; pragmas.len()];
     apply_waivers(&mut findings, &pragmas, &mut hits);
     for (k, p) in pragmas.iter().enumerate() {
-        if hits[k] == 0 && !p.rule.is_hot_path() {
+        if hits[k] == 0 && !p.rule.is_tree_level() {
             pragma_findings.push(stale_pragma_finding(relpath, p));
         }
     }

@@ -1,0 +1,213 @@
+//! Self-tests for the v3 concurrency & protocol rule families: each
+//! seeded fixture under `fixtures/concurrency/` must fire its rule (via
+//! the lib API and via the binary's exit code), the workspace must pin
+//! at zero unwaived findings for all four families, and the `--baseline`
+//! / `--only` binary modes must honor their contracts.
+
+use dsj_lint::{lint_tree, lint_tree_report, Mode, Rule};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn concurrency_fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/concurrency")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn every_concurrency_rule_fires_on_its_fixture() {
+    let findings = lint_tree(&concurrency_fixtures(), Mode::Fixture).expect("walk fixtures");
+    let fired = |rule: Rule, file: &str| {
+        findings
+            .iter()
+            .any(|f| f.rule == rule && f.file == file && f.is_violation())
+    };
+    assert!(fired(Rule::LockOrder, "lock_cycle.rs"), "{findings:?}");
+    assert!(
+        fired(Rule::GuardBlocking, "guard_across_send.rs"),
+        "{findings:?}"
+    );
+    assert!(
+        fired(Rule::InFlightBalance, "unbalanced_add.rs"),
+        "{findings:?}"
+    );
+    assert!(
+        fired(Rule::WireExhaustive, "missing_arm.rs"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn clean_variants_in_the_fixtures_stay_clean() {
+    let findings = lint_tree(&concurrency_fixtures(), Mode::Fixture).expect("walk fixtures");
+    // Dropping the guard before `send` releases it: `record_released`
+    // sits past line 21 of guard_across_send.rs and must not be flagged.
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.file == "guard_across_send.rs" && f.line > 21),
+        "{findings:?}"
+    );
+    // The balanced exit of `inject` pairs its add with a sub — exactly
+    // one in-flight finding (the early return), not two.
+    let inflight = findings
+        .iter()
+        .filter(|f| f.file == "unbalanced_add.rs" && f.rule == Rule::InFlightBalance)
+        .count();
+    assert_eq!(inflight, 1, "{findings:?}");
+    // Only `Msg::Leave` is missing an engine arm.
+    let wire: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::WireExhaustive)
+        .collect();
+    assert_eq!(wire.len(), 1, "{wire:?}");
+    assert!(wire[0].message.contains("Msg::Leave"), "{wire:?}");
+}
+
+#[test]
+fn lock_order_witness_names_both_orders() {
+    let findings = lint_tree(&concurrency_fixtures(), Mode::Fixture).expect("walk fixtures");
+    let cycle = findings
+        .iter()
+        .find(|f| f.rule == Rule::LockOrder)
+        .expect("lock-order finding");
+    assert!(cycle.message.contains("lock-order cycle"), "{cycle:?}");
+    assert!(cycle.message.contains("opposite order"), "{cycle:?}");
+    assert!(cycle.message.contains("alpha"), "{cycle:?}");
+    assert!(cycle.message.contains("beta"), "{cycle:?}");
+}
+
+#[test]
+fn binary_flags_the_concurrency_fixtures() {
+    let bin = env!("CARGO_BIN_EXE_dsj-lint");
+    let out = Command::new(bin)
+        .arg(concurrency_fixtures())
+        .output()
+        .expect("run dsj-lint on concurrency fixtures");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "lock-order",
+        "guard-across-blocking",
+        "in-flight-balance",
+        "wire-exhaustive",
+    ] {
+        assert!(
+            report.contains(&format!("[{rule}]")),
+            "missing {rule} in:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn workspace_has_zero_unwaived_concurrency_findings() {
+    let report = lint_tree_report(&workspace_root(), Mode::Workspace).expect("walk workspace");
+    let bad: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.rule,
+                Rule::LockOrder
+                    | Rule::GuardBlocking
+                    | Rule::InFlightBalance
+                    | Rule::WireExhaustive
+            ) && f.is_violation()
+        })
+        .collect();
+    assert!(bad.is_empty(), "{bad:#?}");
+}
+
+#[test]
+fn only_flag_restricts_rules_and_baseline_diffs() {
+    let bin = env!("CARGO_BIN_EXE_dsj-lint");
+
+    // --only with a rule the fixtures never violate: clean exit.
+    let out = Command::new(bin)
+        .arg(concurrency_fixtures())
+        .args(["--only", "hash-iter"])
+        .output()
+        .expect("run dsj-lint --only");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // --only with an unknown rule id is a usage error.
+    let out = Command::new(bin)
+        .args(["--only", "no-such-rule"])
+        .output()
+        .expect("run dsj-lint --only bad");
+    assert_eq!(out.status.code(), Some(2));
+
+    // An empty baseline makes every fixture finding new (exit 1, `+` lines);
+    // a baseline captured from the same tree is clean (exit 0).
+    let dir = workspace_root().join("target/lint-test-baselines");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let empty = dir.join("empty.json");
+    std::fs::write(&empty, "{}\n").expect("write empty baseline");
+    let out = Command::new(bin)
+        .arg(concurrency_fixtures())
+        .arg("--baseline")
+        .arg(&empty)
+        .output()
+        .expect("run dsj-lint --baseline empty");
+    assert_eq!(out.status.code(), Some(1));
+    let diff = String::from_utf8_lossy(&out.stdout);
+    assert!(diff.contains("+ lock-order@lock_cycle.rs:"), "{diff}");
+
+    let json = Command::new(bin)
+        .arg(concurrency_fixtures())
+        .args(["--format", "json"])
+        .output()
+        .expect("run dsj-lint --format json");
+    let full = dir.join("full.json");
+    std::fs::write(&full, &json.stdout).expect("write full baseline");
+    let out = Command::new(bin)
+        .arg(concurrency_fixtures())
+        .arg("--baseline")
+        .arg(&full)
+        .output()
+        .expect("run dsj-lint --baseline full");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // A missing baseline file is an IO/usage error.
+    let out = Command::new(bin)
+        .arg(concurrency_fixtures())
+        .arg("--baseline")
+        .arg(dir.join("does-not-exist.json"))
+        .output()
+        .expect("run dsj-lint --baseline missing");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn checked_in_baseline_matches_the_workspace() {
+    let bin = env!("CARGO_BIN_EXE_dsj-lint");
+    let out = Command::new(bin)
+        .arg(workspace_root())
+        .arg("--baseline")
+        .arg(workspace_root().join("crates/lint/baseline.json"))
+        .output()
+        .expect("run dsj-lint --baseline on workspace");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

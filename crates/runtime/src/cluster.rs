@@ -34,6 +34,28 @@ pub enum LiveError {
         /// The wire error, rendered.
         detail: String,
     },
+    /// Several distinct transport failures surfaced in one run — the
+    /// harness aggregates every reported failure (deduplicated by node
+    /// and kind, in first-seen order) instead of dropping all but the
+    /// first.
+    Faults(Vec<LiveError>),
+}
+
+impl LiveError {
+    /// Deduplication key: failure kind plus the node it implicates (when
+    /// the variant names one). Two failures with the same key are the
+    /// same event reported twice — e.g. every peer observing the same
+    /// closed channel.
+    pub(crate) fn kind_key(&self) -> (u8, Option<u16>) {
+        match self {
+            LiveError::Config(_) => (0, None),
+            LiveError::NodePanicked(id) => (1, Some(*id)),
+            LiveError::ChannelClosed => (2, None),
+            LiveError::Io { node, .. } => (3, Some(*node)),
+            LiveError::Decode { node, .. } => (4, Some(*node)),
+            LiveError::Faults(_) => (5, None),
+        }
+    }
 }
 
 impl fmt::Display for LiveError {
@@ -45,6 +67,16 @@ impl fmt::Display for LiveError {
             LiveError::Io { node, detail } => write!(f, "socket error at node {node}: {detail}"),
             LiveError::Decode { node, detail } => {
                 write!(f, "undecodable frame received at node {node}: {detail}")
+            }
+            LiveError::Faults(all) => {
+                write!(f, "{} transport failures: ", all.len())?;
+                for (i, e) in all.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
             }
         }
     }

@@ -52,7 +52,9 @@ pub enum Pacing {
 pub(crate) struct Shared {
     /// Events produced but not yet fully processed, cluster-wide.
     pub in_flight: Arc<AtomicI64>,
-    /// First-failure-wins error reporting from any thread.
+    /// Failure reporting from any thread. Every failure is kept; the
+    /// harness aggregates them (deduplicated by node and kind, in
+    /// first-seen order) when surfacing the run's error.
     pub failures: Arc<Mutex<Vec<LiveError>>>,
     /// Cluster start; live transports report clocks relative to it.
     pub epoch: Instant,
@@ -67,8 +69,22 @@ impl Shared {
         }
     }
 
-    fn first_failure(&self) -> Option<LiveError> {
-        self.failures.lock().first().cloned()
+    /// All reported failures so far, deduplicated by ([`LiveError::kind_key`])
+    /// node and kind in first-seen order: `None` when the run is clean, the
+    /// lone error when exactly one distinct failure was reported, and
+    /// [`LiveError::Faults`] listing every distinct failure otherwise.
+    fn failure(&self) -> Option<LiveError> {
+        let mut distinct: Vec<LiveError> = Vec::new();
+        for e in self.failures.lock().iter() {
+            if !distinct.iter().any(|d| d.kind_key() == e.kind_key()) {
+                distinct.push(e.clone());
+            }
+        }
+        match distinct.len() {
+            0 => None,
+            1 => distinct.pop(),
+            _ => Some(LiveError::Faults(distinct)),
+        }
     }
 }
 
@@ -135,7 +151,7 @@ pub(crate) fn drive(
     let start = Instant::now();
     for a in arrivals {
         while shared.in_flight.load(Ordering::SeqCst) >= threshold {
-            if let Some(e) = shared.first_failure() {
+            if let Some(e) = shared.failure() {
                 return Err(e);
             }
             thread::yield_now();
@@ -145,7 +161,11 @@ pub(crate) fn drive(
             .send(TransportEvent::Arrival(a.tuple()))
             .is_err()
         {
-            return Err(LiveError::ChannelClosed);
+            // The arrival never became visible — give its increment back,
+            // or a concurrent reader would wait on a count that can no
+            // longer drain.
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            return Err(shared.failure().unwrap_or(LiveError::ChannelClosed));
         }
     }
     reg.phase_add("inject", start.elapsed());
@@ -153,7 +173,7 @@ pub(crate) fn drive(
     // Quiesce: wait until no events remain anywhere in the cluster.
     let drain_started = Instant::now();
     while shared.in_flight.load(Ordering::SeqCst) > 0 {
-        if let Some(e) = shared.first_failure() {
+        if let Some(e) = shared.failure() {
             return Err(e);
         }
         thread::yield_now();
@@ -172,7 +192,7 @@ pub(crate) fn drive(
             Err(_) => return Err(LiveError::NodePanicked(id as u16)),
         }
     }
-    if let Some(e) = shared.first_failure() {
+    if let Some(e) = shared.failure() {
         return Err(e);
     }
     let mut totals = NodeMetrics::default();
@@ -213,4 +233,88 @@ pub(crate) fn drive(
         obs::emit(std::mem::take(reg));
     }
     Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_reports_none() {
+        assert_eq!(Shared::new().failure(), None);
+    }
+
+    #[test]
+    fn a_single_failure_passes_through_unwrapped() {
+        let shared = Shared::new();
+        shared.failures.lock().push(LiveError::NodePanicked(3));
+        assert_eq!(shared.failure(), Some(LiveError::NodePanicked(3)));
+    }
+
+    #[test]
+    fn distinct_failures_aggregate_in_first_seen_order() {
+        let shared = Shared::new();
+        {
+            let mut f = shared.failures.lock();
+            f.push(LiveError::Io {
+                node: 1,
+                detail: "broken pipe".to_string(),
+            });
+            f.push(LiveError::ChannelClosed);
+            f.push(LiveError::NodePanicked(0));
+        }
+        match shared.failure() {
+            Some(LiveError::Faults(all)) => {
+                assert_eq!(all.len(), 3);
+                assert!(matches!(all[0], LiveError::Io { node: 1, .. }));
+                assert_eq!(all[1], LiveError::ChannelClosed);
+                assert_eq!(all[2], LiveError::NodePanicked(0));
+            }
+            other => panic!("expected Faults, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicates_by_node_and_kind_collapse() {
+        let shared = Shared::new();
+        {
+            let mut f = shared.failures.lock();
+            // Same kind, same node: one event reported twice.
+            f.push(LiveError::Io {
+                node: 2,
+                detail: "reset".to_string(),
+            });
+            f.push(LiveError::Io {
+                node: 2,
+                detail: "reset again".to_string(),
+            });
+            // Same kind, different node: genuinely distinct.
+            f.push(LiveError::Io {
+                node: 4,
+                detail: "reset".to_string(),
+            });
+            // Every peer sees the same closed channel once it dies.
+            f.push(LiveError::ChannelClosed);
+            f.push(LiveError::ChannelClosed);
+        }
+        match shared.failure() {
+            Some(LiveError::Faults(all)) => {
+                assert_eq!(all.len(), 3);
+                assert!(matches!(all[0], LiveError::Io { node: 2, .. }));
+                assert!(matches!(all[1], LiveError::Io { node: 4, .. }));
+                assert_eq!(all[2], LiveError::ChannelClosed);
+            }
+            other => panic!("expected Faults, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_display_lists_every_failure() {
+        let e = LiveError::Faults(vec![LiveError::NodePanicked(1), LiveError::ChannelClosed]);
+        assert_eq!(
+            e.to_string(),
+            "2 transport failures: node thread 1 panicked; \
+             inter-node channel closed unexpectedly"
+        );
+    }
 }

@@ -12,7 +12,8 @@ clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
 # Repo-specific static analysis (determinism, panic-safety, hygiene,
-# transitive hot-path discipline).
+# transitive hot-path discipline, lock order, in-flight balance, wire
+# exhaustiveness).
 lint:
     cargo run --release -p dsj-lint
 
@@ -23,6 +24,16 @@ lint-json:
 # Report-only audit of every `dsj-lint: allow(..)` waiver and its hit count.
 lint-waivers:
     cargo run --release -p dsj-lint -- --waivers
+
+# Only the v3 concurrency & protocol families (fast iteration on
+# threading/wire changes).
+lint-concurrency:
+    cargo run --release -p dsj-lint -- --only lock-order,guard-across-blocking,in-flight-balance,wire-exhaustive
+
+# Diff the tree against the checked-in baseline: fail only on NEW
+# findings; `- id` lines are resolved entries to prune from the baseline.
+lint-baseline:
+    cargo run --release -p dsj-lint -- --baseline crates/lint/baseline.json
 
 # API docs must build without warnings.
 doc:
