@@ -7,22 +7,24 @@
 //!     --quick        ~10× fewer iterations / injected tuples (CI scale)
 //!     --only SUBSTR  run only benchmarks whose id or strategy label
 //!                    contains SUBSTR (e.g. "macro", "DFT", "window")
-//!     --out PATH     write the JSON record array (default BENCH_pr6.json)
+//!     --out PATH     write the JSON record array (default BENCH_pr8.json)
 //!     --gate-dftt    exit 1 if macro N=16 DFTT throughput falls below
 //!                    1/3 of DFT (the reconstruction-cliff regression gate)
 //! ```
 //!
 //! Micro rows report steady-state ns/op for the per-tuple primitives;
 //! `macro.simnet` rows report end-to-end tuples/sec through the
-//! simulator. See DESIGN.md §7 for what each row measures and how the
-//! `BENCH_*.json` trajectory is meant to be read across PRs.
+//! simulator, and `macro.tcp_mesh` / `macro.tcp_reactor` rows the same
+//! over live loopback TCP in both socket topologies. See DESIGN.md §7
+//! for what each row measures and how the `BENCH_*.json` trajectory is
+//! meant to be read across PRs.
 
 use dsj_bench::hotpath::{self, BenchRecord};
 
 fn main() {
     let mut quick = false;
     let mut only: Option<String> = None;
-    let mut out_path = String::from("BENCH_pr6.json");
+    let mut out_path = String::from("BENCH_pr8.json");
     let mut gate_dftt = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {

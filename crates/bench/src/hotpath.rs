@@ -10,19 +10,25 @@
 //!   `PointDft::add`, and the Bloom/AGMS summary updates. State is warmed
 //!   first (windows filled, summaries exchanged) so the loop measures the
 //!   steady-state path, not cold construction.
-//! * **macro** — end-to-end tuples/sec through `simnet`: build the
-//!   cluster, inject the full arrival schedule, run to quiescence. The
-//!   timed region covers node construction, injection and the entire
-//!   simulation loop; workload *generation* and ground-truth accounting
-//!   are excluded — they are runner-side costs, not system costs.
+//! * **macro** — end-to-end tuples/sec. `macro.simnet` runs the
+//!   deterministic simulator: build the cluster, inject the full arrival
+//!   schedule, run to quiescence; the timed region covers node
+//!   construction, injection and the entire simulation loop, while
+//!   workload *generation* and ground-truth accounting are excluded —
+//!   runner-side costs, not system costs. `macro.tcp_mesh` /
+//!   `macro.tcp_reactor` run the live TCP backends (per-link-thread
+//!   mesh vs sharded reactor) interleaved at the same sizes, timing
+//!   first arrival to quiescence.
 //!
 //! Wall clocks are confined to this module (it is on the `dsj-lint`
 //! timing allowlist); nothing here feeds reproduced results.
 
 use dsj_core::hotpath::{HarnessParams, RouterHarness};
-use dsj_core::{Algorithm, ClusterConfig};
+use dsj_core::wire::{FrameBatch, FrameDecoder};
+use dsj_core::{Algorithm, ClusterConfig, Msg};
 use dsj_dft::sliding::PointDft;
 use dsj_dft::{ControlVector, SlidingDft};
+use dsj_runtime::{Pacing, TcpCluster, TcpMode};
 use dsj_simnet::{SimDuration, SimTime, Simulation};
 use dsj_sketch::{AgmsSketch, CountingBloomFilter};
 use dsj_stream::gen::{ArrivalGen, WorkloadKind};
@@ -350,6 +356,83 @@ pub fn bench_macro_simnet(algorithm: Algorithm, n: u16, tuples: usize) -> BenchR
     }
 }
 
+/// Macro: end-to-end tuples/sec over real loopback TCP sockets in the
+/// given [`TcpMode`]. Emitted as `macro.tcp_mesh` (per-link-thread
+/// baseline) or `macro.tcp_reactor` (sharded event loop, coalesced
+/// vectored writes); running both interleaved on the same host is how
+/// the reactor's scaling claim is measured. Throughput covers first
+/// arrival to quiescence; socket setup is excluded.
+pub fn bench_macro_tcp(algorithm: Algorithm, n: u16, tuples: usize, mode: TcpMode) -> BenchRecord {
+    let cfg = ClusterConfig::new(n, algorithm).tuples(tuples);
+    let outcome = TcpCluster::run_paced_mode(&cfg, Pacing::Freerun, mode)
+        // dsj-lint: allow(panic) — a bench row without a cluster outcome is meaningless; aborting the suite (fd limit, port exhaustion) beats recording a lie
+        .expect("tcp macro bench: cluster run failed (check `ulimit -n` for large N)");
+    black_box(outcome.reported_matches);
+    let wall = outcome.wall_time.as_secs_f64();
+    let bench = match mode {
+        TcpMode::ThreadPerLink => "macro.tcp_mesh",
+        TcpMode::Reactor => "macro.tcp_reactor",
+    };
+    BenchRecord {
+        bench: bench.into(),
+        strategy: Some(algorithm.label()),
+        n: Some(n),
+        ns_per_op: Some(wall * 1e9 / tuples as f64),
+        tuples_per_sec: Some(outcome.tuples_per_sec),
+        iters: tuples as u64,
+        wall_ms: wall * 1e3,
+    }
+}
+
+/// Micro: ns per decoded message through [`FrameDecoder`], fed in
+/// TCP-sized (1500-byte) chunks. `streaming = false` is the pre-PR-8
+/// path — `feed` copies every chunk into the reassembly buffer, then
+/// `next_msg` decodes out of it; `streaming = true` is `feed_decode`,
+/// which decodes complete frames straight from the caller's chunk and
+/// buffers only trailing partials. The pair is the before/after row for
+/// the decode-allocation satellite.
+pub fn bench_frame_decode(msgs_total: u64, streaming: bool) -> BenchRecord {
+    let mut batch = FrameBatch::new();
+    for i in 0..1024u64 {
+        batch.push(&Msg::Tuple {
+            tuple: Tuple::new(StreamId::R, (i % 509) as u32, i, 1),
+            piggyback: Vec::new(),
+        });
+    }
+    let chunks: Vec<&[u8]> = batch.bytes().chunks(1500).collect();
+    let mut decoder = FrameDecoder::new();
+    let mut count = 0u64;
+    let start = Instant::now();
+    while count < msgs_total {
+        for chunk in &chunks {
+            if streaming {
+                decoder
+                    .feed_decode(chunk, &mut |msg| {
+                        black_box(msg.wire_bytes());
+                        count += 1;
+                        true
+                    })
+                    // dsj-lint: allow(panic) — the stream is self-encoded above; a decode error is a codec bug worth aborting on
+                    .expect("valid stream");
+            } else {
+                decoder.feed(chunk);
+                // dsj-lint: allow(panic) — the stream is self-encoded above; a decode error is a codec bug worth aborting on
+                while let Some(msg) = decoder.next_msg().expect("valid stream") {
+                    black_box(msg.wire_bytes());
+                    count += 1;
+                }
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let bench = if streaming {
+        "micro.frame_decode_stream"
+    } else {
+        "micro.frame_decode_feed"
+    };
+    record_micro(bench, wall * 1e9 / count as f64, count, wall * 1e3)
+}
+
 fn record_micro(bench: &str, ns: f64, iters: u64, wall_ms: f64) -> BenchRecord {
     BenchRecord {
         bench: bench.into(),
@@ -407,10 +490,47 @@ pub fn run_suite(quick: bool, only: Option<&str>) -> Vec<BenchRecord> {
             records.push(bench(micro));
         }
     }
+    if wanted("micro.frame_decode_feed", None) {
+        records.push(bench_frame_decode(micro, false));
+    }
+    if wanted("micro.frame_decode_stream", None) {
+        records.push(bench_frame_decode(micro, true));
+    }
     for n in [4u16, 16, 32] {
         for algorithm in strategies {
             if wanted("macro.simnet", Some(algorithm.label())) {
                 records.push(bench_macro_simnet(algorithm, n, tuples));
+            }
+        }
+    }
+    // Live TCP macro rows: mesh and reactor interleaved at each size so
+    // the comparison shares host conditions. BASE (broadcast, message
+    // bound) and DFTT (summary bound) bracket the traffic shapes. The
+    // mesh tops out at N=64: at N=128 its O(N²) directed links need
+    // ~32.5k fds, past typical limits — which is the point; the reactor's
+    // pair topology (N(N−1)/2 sockets) runs N=128 on its own row.
+    let tcp_ns: &[u16] = if quick { &[4, 16] } else { &[4, 16, 32, 64] };
+    let tcp_algos = [Algorithm::Base, Algorithm::Dftt];
+    for &n in tcp_ns {
+        let t = if n >= 64 { tuples / 2 } else { tuples };
+        for algorithm in tcp_algos {
+            if wanted("macro.tcp_mesh", Some(algorithm.label())) {
+                records.push(bench_macro_tcp(algorithm, n, t, TcpMode::ThreadPerLink));
+            }
+            if wanted("macro.tcp_reactor", Some(algorithm.label())) {
+                records.push(bench_macro_tcp(algorithm, n, t, TcpMode::Reactor));
+            }
+        }
+    }
+    if !quick {
+        for algorithm in tcp_algos {
+            if wanted("macro.tcp_reactor", Some(algorithm.label())) {
+                records.push(bench_macro_tcp(
+                    algorithm,
+                    128,
+                    tuples / 4,
+                    TcpMode::Reactor,
+                ));
             }
         }
     }

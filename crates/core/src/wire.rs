@@ -386,6 +386,61 @@ fn decode_payload(r: &mut Reader<'_>) -> Result<SummaryPayload, WireError> {
     }
 }
 
+/// A batch of encoded frames headed for one peer: the append-side wire
+/// API used by coalescing transports.
+///
+/// [`FrameBatch::push`] appends one frame ([`encode_into`]) and records
+/// where it ends, so a vectored writer that stops mid-batch (a partial
+/// write, `WouldBlock`) can tell exactly which messages are fully on the
+/// wire and which are still owed — the accounting the live harness's
+/// in-flight counter needs. The buffers are reused across
+/// [`FrameBatch::clear`], so steady-state batching allocates nothing.
+#[derive(Debug, Default)]
+pub struct FrameBatch {
+    buf: Vec<u8>,
+    ends: Vec<usize>,
+}
+
+impl FrameBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        FrameBatch::default()
+    }
+
+    /// Appends `msg` as one frame (exactly [`Msg::wire_bytes`] bytes).
+    pub fn push(&mut self, msg: &Msg) {
+        encode_into(msg, &mut self.buf);
+        self.ends.push(self.buf.len());
+    }
+
+    /// The concatenated frame bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Byte offset (into [`FrameBatch::bytes`]) where each frame ends,
+    /// in push order.
+    pub fn frame_ends(&self) -> &[usize] {
+        &self.ends
+    }
+
+    /// How many frames the batch holds.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the batch holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Empties the batch, keeping both allocations for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.ends.clear();
+    }
+}
+
 /// Incremental frame reassembly over a byte stream delivered in arbitrary
 /// chunks (the read side of a TCP connection, a proxy buffer, ...).
 ///
@@ -393,6 +448,11 @@ fn decode_payload(r: &mut Reader<'_>) -> Result<SummaryPayload, WireError> {
 /// messages and buffers partial frames internally. Consumed frames are
 /// compacted away, so the buffer holds at most one partial frame plus
 /// whatever complete frames have not been drained yet.
+///
+/// For high-rate socket readers, [`FrameDecoder::feed_decode`] decodes
+/// complete frames straight out of the caller's read chunk without
+/// copying them into the internal buffer first — only a trailing partial
+/// frame (or the completion of one buffered earlier) is staged.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
@@ -439,6 +499,87 @@ impl FrameDecoder {
     /// Bytes buffered but not yet consumed by a decoded message.
     pub fn pending_bytes(&self) -> usize {
         self.buf.len() - self.start
+    }
+
+    /// How many more bytes the buffered partial frame needs before it can
+    /// decode, or 0 when nothing (or only unparseable garbage) is staged.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::FrameTooLarge`] when the staged length prefix exceeds
+    /// [`MAX_FRAME_BODY`] — corruption, not a request for more bytes.
+    fn staged_deficit(&self) -> Result<usize, WireError> {
+        let pending = self.pending_bytes();
+        if pending == 0 {
+            return Ok(0);
+        }
+        if pending < 4 {
+            return Ok(4 - pending);
+        }
+        let p = &self.buf[self.start..self.start + 4];
+        let len = u32::from_le_bytes([p[0], p[1], p[2], p[3]]) as usize;
+        if len > MAX_FRAME_BODY {
+            return Err(WireError::FrameTooLarge(len));
+        }
+        Ok((4 + len).saturating_sub(pending))
+    }
+
+    /// Streams `bytes` through the decoder, handing every complete message
+    /// to `sink` *without* copying complete frames into the internal
+    /// buffer: a frame wholly contained in `bytes` decodes in place, and
+    /// only a trailing partial frame (or the bytes completing one staged
+    /// by an earlier call) is buffered. This removes the per-chunk
+    /// `memcpy` and buffer churn of the [`FrameDecoder::feed`] +
+    /// [`FrameDecoder::next_msg`] path on the socket-reader hot loop.
+    ///
+    /// `sink` returns `false` to stop consuming (the receiving side is
+    /// gone); the decoder then returns `Ok(false)` and drops the rest of
+    /// the chunk — the connection is being torn down, so resuming has no
+    /// meaning. `Ok(true)` means the whole chunk was consumed.
+    ///
+    /// # Errors
+    ///
+    /// Any non-`Truncated` [`WireError`] for corrupt content, exactly as
+    /// [`FrameDecoder::next_msg`]; the decoder does not resynchronize.
+    pub fn feed_decode(
+        &mut self,
+        bytes: &[u8],
+        sink: &mut dyn FnMut(Msg) -> bool,
+    ) -> Result<bool, WireError> {
+        let mut rest = bytes;
+        // Finish a frame staged by an earlier chunk first: copy only the
+        // bytes it still needs, never the whole new chunk.
+        while self.pending_bytes() > 0 && !rest.is_empty() {
+            let deficit = self.staged_deficit()?;
+            let take = deficit.min(rest.len()).max(1);
+            self.feed(&rest[..take]);
+            rest = &rest[take..];
+            while let Some(msg) = self.next_msg()? {
+                if !sink(msg) {
+                    return Ok(false);
+                }
+            }
+        }
+        if self.pending_bytes() > 0 {
+            return Ok(true); // chunk exhausted mid-frame
+        }
+        // Complete frames decode straight out of the caller's chunk.
+        while !rest.is_empty() {
+            match decode(rest) {
+                Ok((msg, consumed)) => {
+                    rest = &rest[consumed..];
+                    if !sink(msg) {
+                        return Ok(false);
+                    }
+                }
+                Err(WireError::Truncated) => {
+                    self.feed(rest);
+                    return Ok(true);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
     }
 }
 
@@ -638,6 +779,154 @@ mod tests {
         }
         assert_eq!(got, msgs);
         assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn feed_decode_matches_feed_next_msg_for_every_chunking() {
+        let msgs = sample_msgs();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            encode_into(m, &mut stream);
+        }
+        for chunk_len in [1usize, 2, 3, 5, 7, 16, 64, stream.len()] {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for chunk in stream.chunks(chunk_len) {
+                let complete = dec
+                    .feed_decode(chunk, &mut |m| {
+                        got.push(m);
+                        true
+                    })
+                    .unwrap();
+                assert!(complete);
+            }
+            assert_eq!(got, msgs, "chunk_len {chunk_len}");
+            assert_eq!(dec.pending_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn feed_decode_buffers_only_partial_frames() {
+        // A chunk holding two complete frames plus a partial third: the
+        // complete ones decode in place, only the tail is staged.
+        let msgs = sample_msgs();
+        let mut stream = Vec::new();
+        for m in &msgs[..3] {
+            encode_into(m, &mut stream);
+        }
+        let cut = stream.len() - 5;
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        assert!(dec
+            .feed_decode(&stream[..cut], &mut |m| {
+                got.push(m);
+                true
+            })
+            .unwrap());
+        assert_eq!(got.len(), 2);
+        assert!(dec.pending_bytes() > 0 && dec.pending_bytes() < msgs[2].wire_bytes());
+        assert!(dec
+            .feed_decode(&stream[cut..], &mut |m| {
+                got.push(m);
+                true
+            })
+            .unwrap());
+        assert_eq!(got, msgs[..3]);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn feed_decode_sink_abort_stops_consuming() {
+        let msgs = sample_msgs();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            encode_into(m, &mut stream);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut seen = 0;
+        let complete = dec
+            .feed_decode(&stream, &mut |_| {
+                seen += 1;
+                seen < 2
+            })
+            .unwrap();
+        assert!(!complete);
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn feed_decode_corruption_is_typed_even_mid_stream() {
+        let good = encode(&sample_msgs()[0]);
+        let mut stream = good.clone();
+        stream.extend_from_slice(&[1, 0, 0, 0, 0xF0]); // bad version nibble
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        // Byte-at-a-time so the corrupt frame completes via the staged path.
+        let mut result = Ok(true);
+        for b in &stream {
+            result = dec.feed_decode(std::slice::from_ref(b), &mut |m| {
+                got.push(m);
+                true
+            });
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result.unwrap_err(), WireError::BadVersion(0xF));
+        assert_eq!(got.len(), 1);
+        // Oversized staged prefix is corruption, not a byte request.
+        let mut dec = FrameDecoder::new();
+        let huge = ((MAX_FRAME_BODY + 1) as u32).to_le_bytes();
+        dec.feed(&huge[..2]);
+        assert_eq!(
+            dec.feed_decode(&huge[2..], &mut |_| true).unwrap_err(),
+            WireError::FrameTooLarge(MAX_FRAME_BODY + 1)
+        );
+    }
+
+    #[test]
+    fn feed_decode_interoperates_with_feed() {
+        // Stage a partial frame with `feed`, then continue via feed_decode.
+        let msgs = sample_msgs();
+        let bytes = encode(&msgs[2]);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes[..7]);
+        let mut got = Vec::new();
+        assert!(dec
+            .feed_decode(&bytes[7..], &mut |m| {
+                got.push(m);
+                true
+            })
+            .unwrap());
+        assert_eq!(got, vec![msgs[2].clone()]);
+    }
+
+    #[test]
+    fn frame_batch_tracks_boundaries_and_reuses_buffers() {
+        let msgs = sample_msgs();
+        let mut batch = FrameBatch::new();
+        assert!(batch.is_empty());
+        for m in &msgs {
+            batch.push(m);
+        }
+        assert_eq!(batch.len(), msgs.len());
+        // Boundaries slice the concatenation back into the exact frames.
+        let mut start = 0;
+        for (m, &end) in msgs.iter().zip(batch.frame_ends()) {
+            assert_eq!(&batch.bytes()[start..end], &encode(m)[..]);
+            assert_eq!(end - start, m.wire_bytes());
+            start = end;
+        }
+        assert_eq!(start, batch.bytes().len());
+        let alloc = batch.bytes().as_ptr();
+        batch.clear();
+        assert!(batch.is_empty() && batch.bytes().is_empty());
+        batch.push(&msgs[0]);
+        assert_eq!(
+            batch.bytes().as_ptr(),
+            alloc,
+            "clear must keep the allocation"
+        );
     }
 
     #[test]

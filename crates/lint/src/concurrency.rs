@@ -528,6 +528,15 @@ fn guard_scope_end(toks: &[Token], body_start: usize, body_end: usize, i: usize)
         }
         j -= 1;
         match punct(toks, j) {
+            Some("}") if depth == 0 => {
+                // A `}` at statement depth closes the *previous* statement's
+                // block (`if {..}`, `match {..}`, a loop body): it cannot be
+                // part of this statement's receiver chain, so the statement
+                // starts right after it. Without this, the walk swallows the
+                // whole preceding block, `let` is never seen, and the guard's
+                // scope silently collapses at the first `;`.
+                break j + 1;
+            }
             Some(")") | Some("]") | Some("}") => depth += 1,
             Some("(") | Some("[") | Some("{") => {
                 if depth == 0 {
@@ -1061,6 +1070,23 @@ mod tests {
              let _ = tx.send(v);\n\
              }";
         assert!(analyze_src(dropped).is_empty());
+    }
+
+    #[test]
+    fn guard_bound_after_a_block_statement_still_tracks_scope() {
+        // Regression: the backward walk to the statement start used to
+        // swallow a preceding `if {..}` block, miss the `let`, and collapse
+        // the guard's scope at the first `;` — hiding every
+        // guard-across-blocking hazard in functions with an early return.
+        let src = "fn publish(log: &Mutex<Vec<u32>>, tx: &Sender<u32>, v: u32) {\n\
+             if v == 0 { return; }\n\
+             let mut held = log.lock().unwrap_or_else(|e| e.into_inner());\n\
+             held.push(v);\n\
+             let _ = tx.send(v);\n\
+             }";
+        let f = analyze_src(src);
+        assert_eq!(rules_of(&f), vec![Rule::GuardBlocking], "{f:?}");
+        assert_eq!(f[0].line, 5);
     }
 
     #[test]

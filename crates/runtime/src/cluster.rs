@@ -97,6 +97,28 @@ impl From<dsj_core::RunError> for LiveError {
     }
 }
 
+/// Per-node transport-layer counters from one live run — socket
+/// mechanics, not algorithm behavior, so they are *excluded* from the
+/// cross-backend equivalence fingerprint (backends legitimately differ
+/// here while producing identical joins).
+///
+/// All zeros on backends without a byte-level transport (channels) or
+/// without write coalescing (per-link-thread TCP).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Wire frames this node fully wrote to its peers.
+    pub frames_sent: u64,
+    /// Successful write syscalls (each moved ≥ 1 byte); coalescing makes
+    /// `frames_sent / write_syscalls` > 1.
+    pub write_syscalls: u64,
+    /// Sum over peers of each pending-write queue's high-water mark of
+    /// bytes parked while that peer's socket was full.
+    pub pending_peak_bytes: u64,
+    /// Reactor-shard sweeps charged to this node (shard total attributed
+    /// to its first node; 0 for the shard's other nodes).
+    pub reactor_wakeups: u64,
+}
+
 /// What one live run measured.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LiveOutcome {
@@ -117,6 +139,10 @@ pub struct LiveOutcome {
     /// digests mean equal match sets *in the same order* (see
     /// [`dsj_core::JoinNode::match_digest`]).
     pub match_digests: Vec<u64>,
+    /// Per-node transport counters (empty on backends that don't report
+    /// any). Deliberately *not* part of equivalence fingerprints.
+    #[serde(default)]
+    pub transport_per_node: Vec<TransportStats>,
     /// Real elapsed time from first arrival to quiescence.
     pub wall_time: Duration,
     /// Tuples processed per wall-clock second.
@@ -248,6 +274,7 @@ impl LiveCluster {
                 shared,
                 senders,
                 handles,
+                finish: None,
             },
         )
     }

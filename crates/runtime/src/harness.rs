@@ -23,7 +23,7 @@
 //! order — and therefore every router decision — identical across
 //! backends, including the deterministic simulation.
 
-use crate::cluster::{LiveError, LiveOutcome};
+use crate::cluster::{LiveError, LiveOutcome, TransportStats};
 use crossbeam::channel::Sender;
 use dsj_core::obs;
 use dsj_core::{ClusterConfig, NodeEngine, NodeMetrics, Transport, TransportEvent};
@@ -88,6 +88,24 @@ impl Shared {
     }
 }
 
+/// Records one node's transport counters as observability gauges.
+fn record_transport(reg: &mut obs::Registry, me: u16, t: &TransportStats) {
+    reg.gauge_set(
+        &format!("node.{me:02}.pending_write_peak"),
+        t.pending_peak_bytes as f64,
+    );
+    let per_syscall = if t.write_syscalls == 0 {
+        0.0
+    } else {
+        t.frames_sent as f64 / t.write_syscalls as f64
+    };
+    reg.gauge_set(&format!("node.{me:02}.frames_per_syscall"), per_syscall);
+    reg.gauge_set(
+        &format!("node.{me:02}.reactor_wakeups"),
+        t.reactor_wakeups as f64,
+    );
+}
+
 /// Spawns node `me`'s thread: the engine's drive loop over `transport`,
 /// with failures reported through the shared state.
 pub(crate) fn spawn_node<T>(
@@ -110,6 +128,12 @@ where
     })
 }
 
+/// Backend-provided teardown hook: runs after the node threads have
+/// joined (so no more traffic can move), shuts down whatever transport
+/// machinery the backend spawned (e.g. reactor shards), and returns
+/// per-node [`TransportStats`] for the outcome.
+pub(crate) type FinishHook = Box<dyn FnOnce() -> Vec<TransportStats> + Send>;
+
 /// A spawned (but not yet fed) live cluster, backend-independent from
 /// here on: per-node event queues (arrivals and shutdown go this way on
 /// every backend), node threads in id order, and the shared run state.
@@ -120,6 +144,9 @@ pub(crate) struct Spawned {
     pub senders: Vec<Sender<TransportEvent>>,
     /// Node threads, in id order.
     pub handles: Vec<JoinHandle<NodeEngine>>,
+    /// Transport teardown + stats collection; `None` for backends with
+    /// nothing to report.
+    pub finish: Option<FinishHook>,
 }
 
 /// Feeds the arrival schedule, waits for quiescence, shuts the node
@@ -136,7 +163,17 @@ pub(crate) fn drive(
         shared,
         senders,
         handles,
+        finish,
     } = cluster;
+    // On every exit path the backend's finish hook must run — it tears
+    // down transport machinery (reactor shards) that would otherwise
+    // outlive the run.
+    fn abort(finish: Option<FinishHook>, e: LiveError) -> Result<LiveOutcome, LiveError> {
+        if let Some(f) = finish {
+            let _ = f();
+        }
+        Err(e)
+    }
     // Feed arrivals in global order (per-channel FIFO keeps each node's
     // sequence numbers ascending, as the windows require). Freerun caps
     // the events in flight so slow consumers don't accumulate unbounded
@@ -152,7 +189,7 @@ pub(crate) fn drive(
     for a in arrivals {
         while shared.in_flight.load(Ordering::SeqCst) >= threshold {
             if let Some(e) = shared.failure() {
-                return Err(e);
+                return abort(finish, e);
             }
             thread::yield_now();
         }
@@ -165,7 +202,8 @@ pub(crate) fn drive(
             // or a concurrent reader would wait on a count that can no
             // longer drain.
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-            return Err(shared.failure().unwrap_or(LiveError::ChannelClosed));
+            let e = shared.failure().unwrap_or(LiveError::ChannelClosed);
+            return abort(finish, e);
         }
     }
     reg.phase_add("inject", start.elapsed());
@@ -174,7 +212,7 @@ pub(crate) fn drive(
     let drain_started = Instant::now();
     while shared.in_flight.load(Ordering::SeqCst) > 0 {
         if let Some(e) = shared.failure() {
-            return Err(e);
+            return abort(finish, e);
         }
         thread::yield_now();
     }
@@ -186,11 +224,19 @@ pub(crate) fn drive(
 
     let join_started = Instant::now();
     let mut engines = Vec::with_capacity(handles.len());
+    let mut panicked = None;
     for (id, h) in handles.into_iter().enumerate() {
         match h.join() {
             Ok(engine) => engines.push(engine),
-            Err(_) => return Err(LiveError::NodePanicked(id as u16)),
+            Err(_) => panicked = panicked.or(Some(id as u16)),
         }
+    }
+    // Node threads are done; stop the backend's transport machinery and
+    // collect its per-node counters — and only then settle failures, so
+    // anything the teardown surfaced is included.
+    let transport_per_node = finish.map_or_else(Vec::new, |f| f());
+    if let Some(id) = panicked {
+        return Err(LiveError::NodePanicked(id));
     }
     if let Some(e) = shared.failure() {
         return Err(e);
@@ -215,6 +261,7 @@ pub(crate) fn drive(
         totals,
         per_node: engines.iter().map(|e| *e.metrics()).collect(),
         match_digests: engines.iter().map(NodeEngine::match_digest).collect(),
+        transport_per_node,
         wall_time,
         tuples_per_sec: arrivals.len() as f64 / secs,
     };
@@ -229,6 +276,9 @@ pub(crate) fn drive(
         reg.gauge_set("tuples_per_sec", outcome.tuples_per_sec);
         for (me, engine) in engines.iter().enumerate() {
             engine.metrics().record_into(reg, me as u16);
+        }
+        for (me, t) in outcome.transport_per_node.iter().enumerate() {
+            record_transport(reg, me as u16, t);
         }
         obs::emit(std::mem::take(reg));
     }

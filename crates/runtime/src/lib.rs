@@ -41,8 +41,9 @@
 
 mod cluster;
 mod harness;
+mod reactor;
 mod tcp;
 
-pub use cluster::{LiveCluster, LiveError, LiveOutcome};
+pub use cluster::{LiveCluster, LiveError, LiveOutcome, TransportStats};
 pub use harness::Pacing;
-pub use tcp::TcpCluster;
+pub use tcp::{TcpCluster, TcpMode};

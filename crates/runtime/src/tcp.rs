@@ -1,31 +1,42 @@
 //! N nodes over real loopback TCP sockets, framed with the wire codec.
 //!
-//! The topology is a full mesh of *directed* socket pairs: node `i`
-//! connects one `TcpStream` to every peer `j`'s listener and uses it for
-//! `i → j` traffic only. After `connect`, the dialer writes a two-byte
-//! little-endian handshake naming itself, so the accepting side knows
-//! which peer the bytes on that socket come from without trusting
-//! ephemeral port numbers. Each accepted socket gets a reader thread that
-//! reassembles codec frames ([`dsj_core::wire::FrameDecoder`]) from the
-//! byte stream — frames arrive split and coalesced at TCP's whim — and
-//! forwards decoded messages into the owning node's event channel, where
-//! they meet arrivals injected by the feeder. Node threads, feeder
-//! backpressure, quiescence detection and aggregation are the
-//! backend-independent harness shared with [`crate::LiveCluster`].
+//! Two socket topologies share this file, selected by [`TcpMode`]:
+//!
+//! * [`TcpMode::ThreadPerLink`] — the original full mesh of *directed*
+//!   socket pairs: node `i` connects one `TcpStream` to every peer `j`'s
+//!   listener and uses it for `i → j` traffic only; each accepted socket
+//!   gets a blocking reader thread. Simple, but O(N²) sockets *and*
+//!   threads — the honest baseline the reactor is benchmarked against.
+//! * [`TcpMode::Reactor`] — one full-duplex socket per *unordered* node
+//!   pair (N(N−1)/2 connections, halving fd pressure), every socket
+//!   nonblocking, read by a fixed pool of [`crate::reactor`] shards and
+//!   written through per-peer coalescing queues with vectored writes.
+//!   O(N) threads total; the mode that scales to N = 128.
+//!
+//! In both modes the dialer writes a two-byte little-endian handshake
+//! naming itself after `connect`, so the accepting side knows which peer
+//! the bytes on that socket come from without trusting ephemeral port
+//! numbers. Codec frames ([`dsj_core::wire::FrameDecoder`]) are
+//! reassembled from the byte stream — frames arrive split and coalesced
+//! at TCP's whim — and decoded messages land in the owning node's event
+//! channel, where they meet arrivals injected by the feeder. Node
+//! threads, feeder backpressure, quiescence detection and aggregation are
+//! the backend-independent harness shared with [`crate::LiveCluster`].
 //!
 //! Everything stays on `127.0.0.1` with OS-assigned ports; nothing binds
 //! a routable interface.
 
-use crate::cluster::{LiveError, LiveOutcome};
-use crate::harness::{self, Pacing, Shared};
+use crate::cluster::{LiveError, LiveOutcome, TransportStats};
+use crate::harness::{self, FinishHook, Pacing, Shared};
+use crate::reactor::{Kick, LinkWrite, OutLink, Reactor, ReadLink, ShardInput};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dsj_core::obs;
-use dsj_core::wire::{self, FrameDecoder};
+use dsj_core::wire::{self, FrameBatch, FrameDecoder};
 use dsj_core::{ClusterConfig, Msg, NodeEngine, Transport, TransportEvent};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -33,11 +44,46 @@ use std::time::Instant;
 /// Read-buffer size for socket reader threads.
 const READ_CHUNK: usize = 16 * 1024;
 
-fn io_err(node: u16, e: &std::io::Error) -> LiveError {
+pub(crate) fn io_err(node: u16, e: &std::io::Error) -> LiveError {
     LiveError::Io {
         node,
         detail: e.to_string(),
     }
+}
+
+/// Reads the dialer's two-byte little-endian node-id handshake,
+/// tolerating short reads and `EINTR`: loopback usually delivers both
+/// bytes at once, but nothing guarantees it, and a handshake split across
+/// reads must not be mistaken for a protocol error.
+pub(crate) fn read_peer_id(stream: &mut TcpStream) -> std::io::Result<u16> {
+    let mut hello = [0u8; 2];
+    let mut got = 0;
+    while got < hello.len() {
+        match stream.read(&mut hello[got..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed during handshake",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(u16::from_le_bytes(hello))
+}
+
+/// Which socket topology [`TcpCluster`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpMode {
+    /// Directed full mesh, one blocking reader thread per link: O(N²)
+    /// sockets and threads. The pre-reactor baseline.
+    ThreadPerLink,
+    /// One nonblocking full-duplex socket per node pair, served by a
+    /// fixed shard pool with coalesced vectored writes: O(N) threads,
+    /// N(N−1)/2 sockets.
+    Reactor,
 }
 
 /// [`Transport`] over per-peer TCP sockets: decoded inbound traffic and
@@ -136,6 +182,139 @@ impl Transport for TcpTransport {
     }
 }
 
+/// [`Transport`] for [`TcpMode::Reactor`]: outbound messages are batched
+/// per peer ([`FrameBatch`]) and flushed once per engine frame through
+/// the peer's [`OutLink`] — a coalesced vectored write on a nonblocking
+/// socket. A full socket parks the tail in the link's write queue (the
+/// destination's shard retries it); after every flush the destination
+/// read-link is marked dirty and its shard kicked, which is what makes
+/// the bytes *observed*, not just sent.
+struct ReactorTransport {
+    me: u16,
+    rx: Receiver<TransportEvent>,
+    /// `links[j]` is the `me → j` write half; `None` at `j == me`.
+    links: Vec<Option<Arc<OutLink>>>,
+    /// `batches[j]` holds frames encoded for peer `j` since the last
+    /// flush (allocation reused across frames).
+    batches: Vec<FrameBatch>,
+    /// `dirty[j]` is peer `j`'s read-link flag for the `me → j` socket.
+    dirty: Vec<Option<Arc<AtomicBool>>>,
+    /// Shard wakeup latches; peer `j`'s shard is `j % kicks.len()`.
+    kicks: Vec<Arc<Kick>>,
+    /// Per-flush scratch: which shards have traffic and need one kick.
+    kick_due: Vec<bool>,
+    in_flight: Arc<AtomicI64>,
+    epoch: Instant,
+}
+
+impl ReactorTransport {
+    /// Un-counts every message still batched (a fatal flush error aborts
+    /// the node; the cluster-wide counter must not leak phantom traffic).
+    fn abandon_batches(&mut self) {
+        let orphaned: i64 = self.batches.iter().map(|b| b.len() as i64).sum();
+        if orphaned > 0 {
+            self.in_flight.fetch_sub(orphaned, Ordering::SeqCst);
+        }
+        for batch in &mut self.batches {
+            batch.clear();
+        }
+    }
+}
+
+impl Transport for ReactorTransport {
+    type Error = LiveError;
+
+    fn send(&mut self, to: u16, msg: Msg) -> Result<(), LiveError> {
+        let j = to as usize;
+        if !matches!(self.links.get(j), Some(Some(_))) {
+            return Err(LiveError::Io {
+                node: self.me,
+                detail: format!("no socket from node {} to peer {to}", self.me),
+            });
+        }
+        self.batches[j].push(&msg);
+        // Counted at batch time, before any byte is visible — same
+        // over-report-never-under-report contract as the mesh transport.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Result<TransportEvent, LiveError> {
+        self.rx.recv().map_err(|_| LiveError::ChannelClosed)
+    }
+
+    fn poll_frame(&mut self, max: usize, frame: &mut Vec<TransportEvent>) -> Result<(), LiveError> {
+        frame.push(self.rx.recv().map_err(|_| LiveError::ChannelClosed)?);
+        while frame.len() < max {
+            match self.rx.try_recv() {
+                Some(event) => frame.push(event),
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), LiveError> {
+        for j in 0..self.batches.len() {
+            if self.batches[j].is_empty() {
+                continue;
+            }
+            let Some(link) = self.links[j].as_ref() else {
+                continue; // unreachable: send() refuses peers without links
+            };
+            match link.flush_batch(&self.batches[j]) {
+                LinkWrite::Clean | LinkWrite::Parked => {
+                    // Accepted (on the wire or parked in the link's queue,
+                    // where the destination shard owns the retry); either
+                    // way the messages stay counted until the receiving
+                    // engine processes them.
+                    self.batches[j].clear();
+                    if let Some(flag) = &self.dirty[j] {
+                        flag.store(true, Ordering::SeqCst);
+                    }
+                    let shard = j % self.kick_due.len();
+                    self.kick_due[shard] = true;
+                }
+                LinkWrite::Dead { error, orphaned } => {
+                    // The link accepted the batch into its queue before
+                    // dying, so `orphaned` covers these frames; a link
+                    // that was *already* dead never accepted them, and
+                    // `abandon_batches` gives this batch (and every other
+                    // unflushed one) back to the counter.
+                    if orphaned > 0 {
+                        self.in_flight.fetch_sub(orphaned, Ordering::SeqCst);
+                        self.batches[j].clear();
+                    }
+                    let e = error.unwrap_or_else(|| LiveError::Io {
+                        node: self.me,
+                        detail: format!("link from node {} to peer {j} is dead", self.me),
+                    });
+                    self.abandon_batches();
+                    return Err(e);
+                }
+            }
+        }
+        // One kick per shard per flush, after every dirty flag is set —
+        // a peer-count-independent wakeup cost.
+        for s in 0..self.kick_due.len() {
+            if self.kick_due[s] {
+                self.kick_due[s] = false;
+                self.kicks[s].notify();
+            }
+        }
+        Ok(())
+    }
+
+    fn now_us(&mut self) -> u64 {
+        // dsj-lint: allow(hot-path-opaque-call) — the live clock *is* wall time; it feeds only time-window eviction and the governor, never reproduced results
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn quiesce(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Reader half of one directed link: reassembles frames from `stream`
 /// (bytes sent by `from`) and forwards decoded messages to node
 /// `to_node`'s event channel.
@@ -163,22 +342,19 @@ pub(crate) fn pump_frames(
                 return;
             }
         };
-        decoder.feed(&chunk[..nread]);
-        loop {
-            match decoder.next_msg() {
-                Ok(Some(msg)) => {
-                    if tx.send(TransportEvent::Net { from, msg }).is_err() {
-                        return;
-                    }
-                }
-                Ok(None) => break, // need more bytes
-                Err(e) => {
-                    failures.lock().push(LiveError::Decode {
-                        node: to_node,
-                        detail: e.to_string(),
-                    });
-                    return;
-                }
+        // Streaming decode: complete frames are decoded straight out of
+        // the read chunk; only a trailing partial frame is buffered.
+        match decoder.feed_decode(&chunk[..nread], &mut |msg| {
+            tx.send(TransportEvent::Net { from, msg }).is_ok()
+        }) {
+            Ok(true) => {}
+            Ok(false) => return, // event channel closed: the node is gone
+            Err(e) => {
+                failures.lock().push(LiveError::Decode {
+                    node: to_node,
+                    detail: e.to_string(),
+                });
+                return;
             }
         }
     }
@@ -197,9 +373,7 @@ fn accept_links(
     for _ in 0..expect {
         let (mut stream, _) = listener.accept().map_err(|e| io_err(me, &e))?;
         stream.set_nodelay(true).map_err(|e| io_err(me, &e))?;
-        let mut hello = [0u8; 2];
-        stream.read_exact(&mut hello).map_err(|e| io_err(me, &e))?;
-        let from = u16::from_le_bytes(hello);
+        let from = read_peer_id(&mut stream).map_err(|e| io_err(me, &e))?;
         let tx = tx.clone();
         let failures = Arc::clone(&failures);
         thread::spawn(move || pump_frames(stream, from, me, &tx, &failures));
@@ -237,6 +411,22 @@ impl TcpCluster {
     ///
     /// As for [`TcpCluster::run`].
     pub fn run_paced(cfg: &ClusterConfig, pacing: Pacing) -> Result<LiveOutcome, LiveError> {
+        Self::run_paced_mode(cfg, pacing, TcpMode::ThreadPerLink)
+    }
+
+    /// Runs the configuration's workload with an explicit feeder
+    /// [`Pacing`] and socket topology ([`TcpMode`]). Both modes are
+    /// lockstep-equivalent to every other backend; [`TcpMode::Reactor`]
+    /// is the one that scales past a handful of nodes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpCluster::run`].
+    pub fn run_paced_mode(
+        cfg: &ClusterConfig,
+        pacing: Pacing,
+        mode: TcpMode,
+    ) -> Result<LiveOutcome, LiveError> {
         cfg.validate()?;
         let mut reg = obs::Registry::default();
         let n = cfg.n as usize;
@@ -263,71 +453,252 @@ impl TcpCluster {
             listeners.push(listener);
         }
 
-        // Accept threads: each node takes n−1 inbound links and spawns a
-        // frame reader per link.
-        let mut acceptors = Vec::with_capacity(n);
-        for (me, listener) in listeners.into_iter().enumerate() {
-            let tx = senders[me].clone();
-            let failures = Arc::clone(&shared.failures);
-            acceptors.push(thread::spawn(move || {
-                accept_links(listener, me as u16, n - 1, tx, failures)
-            }));
-        }
-
-        // Dial the full mesh: writers[i][j] carries i → j.
-        let mut writers: Vec<Vec<Option<TcpStream>>> =
-            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-        for (i, row) in writers.iter_mut().enumerate() {
-            for (j, slot) in row.iter_mut().enumerate() {
-                if i == j {
-                    continue;
-                }
-                let mut stream = TcpStream::connect(addrs[j]).map_err(|e| io_err(i as u16, &e))?;
-                stream.set_nodelay(true).map_err(|e| io_err(i as u16, &e))?;
-                stream
-                    .write_all(&(i as u16).to_le_bytes())
-                    .map_err(|e| io_err(i as u16, &e))?;
-                *slot = Some(stream);
+        let spawned = match mode {
+            TcpMode::ThreadPerLink => {
+                spawn_mesh(cfg, shared, senders, &receivers, listeners, &addrs)?
             }
-        }
-        // All dials completed, so every acceptor can finish; join them to
-        // guarantee every reader thread is live before traffic starts.
-        for acceptor in acceptors {
-            match acceptor.join() {
-                Ok(result) => result?,
-                Err(_) => return Err(LiveError::ChannelClosed),
-            }
-        }
-
-        let mut handles = Vec::with_capacity(n);
-        for (me, row) in writers.into_iter().enumerate() {
-            let transport = TcpTransport {
-                me: me as u16,
-                rx: receivers[me].clone(),
-                writers: row,
-                in_flight: Arc::clone(&shared.in_flight),
-                epoch: shared.epoch,
-                wbufs: (0..n).map(|_| Vec::with_capacity(1024)).collect(),
-                wpending: vec![0; n],
-            };
-            let engine = NodeEngine::new(cfg.build_node(me as u16));
-            handles.push(harness::spawn_node(me as u16, engine, transport, &shared));
-        }
+            TcpMode::Reactor => spawn_reactor(cfg, shared, senders, &receivers, listeners, &addrs)?,
+        };
         reg.phase_add("spawn", spawn_started.elapsed());
 
-        harness::drive(
-            cfg,
-            pacing,
-            &mut reg,
-            &arrivals,
-            truth_matches,
-            harness::Spawned {
-                shared,
-                senders,
-                handles,
-            },
-        )
+        harness::drive(cfg, pacing, &mut reg, &arrivals, truth_matches, spawned)
     }
+}
+
+/// Spawns the [`TcpMode::ThreadPerLink`] topology: directed full mesh,
+/// one blocking reader thread per accepted socket.
+fn spawn_mesh(
+    cfg: &ClusterConfig,
+    shared: Shared,
+    senders: Vec<Sender<TransportEvent>>,
+    receivers: &[Receiver<TransportEvent>],
+    listeners: Vec<TcpListener>,
+    addrs: &[SocketAddr],
+) -> Result<harness::Spawned, LiveError> {
+    let n = cfg.n as usize;
+    // Accept threads: each node takes n−1 inbound links and spawns a
+    // frame reader per link.
+    let mut acceptors = Vec::with_capacity(n);
+    for (me, listener) in listeners.into_iter().enumerate() {
+        let tx = senders[me].clone();
+        let failures = Arc::clone(&shared.failures);
+        acceptors.push(thread::spawn(move || {
+            accept_links(listener, me as u16, n - 1, tx, failures)
+        }));
+    }
+
+    // Dial the full mesh: writers[i][j] carries i → j.
+    let mut writers: Vec<Vec<Option<TcpStream>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    for (i, row) in writers.iter_mut().enumerate() {
+        for (j, slot) in row.iter_mut().enumerate() {
+            if i == j {
+                continue;
+            }
+            let mut stream = TcpStream::connect(addrs[j]).map_err(|e| io_err(i as u16, &e))?;
+            stream.set_nodelay(true).map_err(|e| io_err(i as u16, &e))?;
+            stream
+                .write_all(&(i as u16).to_le_bytes())
+                .map_err(|e| io_err(i as u16, &e))?;
+            *slot = Some(stream);
+        }
+    }
+    // All dials completed, so every acceptor can finish; join them to
+    // guarantee every reader thread is live before traffic starts.
+    for acceptor in acceptors {
+        match acceptor.join() {
+            Ok(result) => result?,
+            Err(_) => return Err(LiveError::ChannelClosed),
+        }
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (me, row) in writers.into_iter().enumerate() {
+        let transport = TcpTransport {
+            me: me as u16,
+            rx: receivers[me].clone(),
+            writers: row,
+            in_flight: Arc::clone(&shared.in_flight),
+            epoch: shared.epoch,
+            wbufs: (0..n).map(|_| Vec::with_capacity(1024)).collect(),
+            wpending: vec![0; n],
+        };
+        let engine = NodeEngine::new(cfg.build_node(me as u16));
+        handles.push(harness::spawn_node(me as u16, engine, transport, &shared));
+    }
+    Ok(harness::Spawned {
+        shared,
+        senders,
+        handles,
+        finish: None,
+    })
+}
+
+/// Spawns the [`TcpMode::Reactor`] topology: one nonblocking full-duplex
+/// socket per unordered node pair — for pair `{i, j}` with `i < j`, node
+/// `j` dials node `i`'s listener — read by a fixed pool of reactor
+/// shards and written through per-peer coalescing queues.
+fn spawn_reactor(
+    cfg: &ClusterConfig,
+    shared: Shared,
+    senders: Vec<Sender<TransportEvent>>,
+    receivers: &[Receiver<TransportEvent>],
+    listeners: Vec<TcpListener>,
+    addrs: &[SocketAddr],
+) -> Result<harness::Spawned, LiveError> {
+    let n = cfg.n as usize;
+    // Accept side: node i takes one connection from every higher-id peer.
+    // Each acceptor returns its identified, nonblocking endpoints.
+    let mut acceptors = Vec::with_capacity(n);
+    for (me, listener) in listeners.into_iter().enumerate() {
+        let expect = n - 1 - me;
+        acceptors.push(thread::spawn(
+            move || -> Result<Vec<(u16, TcpStream)>, LiveError> {
+                let mut accepted = Vec::with_capacity(expect);
+                for _ in 0..expect {
+                    let (mut stream, _) = listener.accept().map_err(|e| io_err(me as u16, &e))?;
+                    stream
+                        .set_nodelay(true)
+                        .map_err(|e| io_err(me as u16, &e))?;
+                    let peer = read_peer_id(&mut stream).map_err(|e| io_err(me as u16, &e))?;
+                    stream
+                        .set_nonblocking(true)
+                        .map_err(|e| io_err(me as u16, &e))?;
+                    accepted.push((peer, stream));
+                }
+                Ok(accepted)
+            },
+        ));
+    }
+
+    // Dial side: node j (conceptually — dials run on this thread) opens
+    // the pair socket to every lower-id peer. `endpoint[a][b]` is node
+    // a's end of the {a, b} socket.
+    let mut endpoint: Vec<Vec<Option<Arc<TcpStream>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    for (j, row) in endpoint.iter_mut().enumerate().skip(1) {
+        for (i, addr) in addrs.iter().enumerate().take(j) {
+            let mut stream = TcpStream::connect(addr).map_err(|e| io_err(j as u16, &e))?;
+            stream.set_nodelay(true).map_err(|e| io_err(j as u16, &e))?;
+            stream
+                .write_all(&(j as u16).to_le_bytes())
+                .map_err(|e| io_err(j as u16, &e))?;
+            stream
+                .set_nonblocking(true)
+                .map_err(|e| io_err(j as u16, &e))?;
+            row[i] = Some(Arc::new(stream));
+        }
+    }
+    for (me, acceptor) in acceptors.into_iter().enumerate() {
+        match acceptor.join() {
+            Ok(accepted) => {
+                for (peer, stream) in accepted? {
+                    endpoint[me][peer as usize] = Some(Arc::new(stream));
+                }
+            }
+            Err(_) => return Err(LiveError::ChannelClosed),
+        }
+    }
+
+    // Per-directed-link machinery: the i → j write half (on node i's
+    // endpoint) and the i → j read half (node j's endpoint, flagged dirty
+    // by i after each flush).
+    let mut outlinks: Vec<Vec<Option<Arc<OutLink>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let dirty: Vec<Vec<Arc<AtomicBool>>> = (0..n)
+        .map(|_| (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect())
+        .collect();
+    for (i, row) in outlinks.iter_mut().enumerate() {
+        for (j, slot) in row.iter_mut().enumerate() {
+            if let Some(stream) = &endpoint[i][j] {
+                *slot = Some(Arc::new(OutLink::new(i as u16, Arc::clone(stream))));
+            }
+        }
+    }
+
+    // Shards: shard s owns the read halves of every node ≡ s (mod
+    // shards) plus retry duty for out-links targeting those nodes (their
+    // reads are what free the peer's socket space).
+    let nshards = Reactor::shard_count(n);
+    let kicks: Vec<Arc<Kick>> = (0..nshards).map(|_| Arc::new(Kick::new())).collect();
+    let wakeups: Vec<Arc<AtomicU64>> = (0..nshards).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let mut inputs: Vec<ShardInput> = (0..nshards)
+        .map(|s| ShardInput {
+            reads: Vec::new(),
+            writes: Vec::new(),
+            kick: Arc::clone(&kicks[s]),
+            wakeups: Arc::clone(&wakeups[s]),
+            in_flight: Arc::clone(&shared.in_flight),
+            failures: Arc::clone(&shared.failures),
+        })
+        .collect();
+    for to in 0..n {
+        let shard = &mut inputs[to % nshards];
+        for from in 0..n {
+            let Some(stream) = &endpoint[to][from] else {
+                continue;
+            };
+            shard.reads.push(ReadLink::new(
+                Arc::clone(stream),
+                from as u16,
+                to as u16,
+                senders[to].clone(),
+                Arc::clone(&dirty[to][from]),
+            ));
+            if let Some(link) = &outlinks[from][to] {
+                shard.writes.push(Arc::clone(link));
+            }
+        }
+    }
+    let reactor = Reactor::start(inputs);
+
+    let mut handles = Vec::with_capacity(n);
+    for (me, row) in outlinks.iter().enumerate() {
+        let transport = ReactorTransport {
+            me: me as u16,
+            rx: receivers[me].clone(),
+            links: row.clone(),
+            batches: (0..n).map(|_| FrameBatch::new()).collect(),
+            dirty: (0..n)
+                .map(|j| (j != me).then(|| Arc::clone(&dirty[j][me])))
+                .collect(),
+            kicks: kicks.clone(),
+            kick_due: vec![false; nshards],
+            in_flight: Arc::clone(&shared.in_flight),
+            epoch: shared.epoch,
+        };
+        let engine = NodeEngine::new(cfg.build_node(me as u16));
+        handles.push(harness::spawn_node(me as u16, engine, transport, &shared));
+    }
+
+    // Teardown hook: stop the shards once the node threads are done, and
+    // fold link + shard counters into per-node transport stats (a shard's
+    // wakeups are attributed to its lowest node id).
+    let finish: FinishHook = Box::new(move || {
+        let shard_wakeups = reactor.join();
+        let mut stats = vec![TransportStats::default(); n];
+        for (i, row) in outlinks.iter().enumerate() {
+            for link in row.iter().flatten() {
+                let (frames, syscalls, peak) = link.stats();
+                stats[i].frames_sent += frames;
+                stats[i].write_syscalls += syscalls;
+                stats[i].pending_peak_bytes += peak;
+            }
+        }
+        for (s, count) in shard_wakeups.into_iter().enumerate() {
+            if s < n {
+                stats[s].reactor_wakeups = count;
+            }
+        }
+        stats
+    });
+
+    Ok(harness::Spawned {
+        shared,
+        senders,
+        handles,
+        finish: Some(finish),
+    })
 }
 
 #[cfg(test)]
@@ -390,33 +761,68 @@ mod tests {
         assert_eq!(err, LiveError::Config(dsj_core::RunError::TooFewNodes(1)));
     }
 
+    /// One end-to-end reader link for tests: listener, handshake (written
+    /// one byte at a time, exercising [`read_peer_id`]'s short-read
+    /// handling), and a [`pump_frames`] thread feeding a channel. The two
+    /// decode tests previously duplicated all of this scaffolding inline.
+    struct LinkFixture {
+        dialer: TcpStream,
+        rx: Receiver<TransportEvent>,
+        failures: Arc<Mutex<Vec<LiveError>>>,
+        reader: thread::JoinHandle<()>,
+    }
+
+    impl LinkFixture {
+        fn spawn(from: u16) -> Self {
+            let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            let addr = listener.local_addr().unwrap();
+            let (tx, rx) = unbounded();
+            let failures: Arc<Mutex<Vec<LiveError>>> = Arc::new(Mutex::new(Vec::new()));
+            let reader = {
+                let failures = Arc::clone(&failures);
+                thread::spawn(move || {
+                    let (mut stream, _) = listener.accept().unwrap();
+                    let peer = read_peer_id(&mut stream).unwrap();
+                    pump_frames(stream, peer, 0, &tx, &failures);
+                })
+            };
+            let mut dialer = TcpStream::connect(addr).unwrap();
+            dialer.set_nodelay(true).unwrap();
+            for byte in from.to_le_bytes() {
+                dialer.write_all(&[byte]).unwrap();
+            }
+            LinkFixture {
+                dialer,
+                rx,
+                failures,
+                reader,
+            }
+        }
+
+        /// Closes the write side and waits for the reader to finish.
+        fn finish(self) -> (Receiver<TransportEvent>, Arc<Mutex<Vec<LiveError>>>) {
+            drop(self.dialer);
+            self.reader.join().unwrap();
+            (self.rx, self.failures)
+        }
+    }
+
     #[test]
     fn corrupt_frame_on_the_socket_is_a_typed_error_not_a_panic() {
         // Drive the reader half of one link directly over a real socket
         // and feed it garbage: a well-formed length prefix followed by a
         // body with an unknown version nibble.
-        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
-        let addr = listener.local_addr().unwrap();
-        let (tx, rx) = unbounded();
-        let failures: Arc<Mutex<Vec<LiveError>>> = Arc::new(Mutex::new(Vec::new()));
-        let reader = {
-            let failures = Arc::clone(&failures);
-            thread::spawn(move || {
-                let (stream, _) = listener.accept().unwrap();
-                pump_frames(stream, 1, 0, &tx, &failures);
-            })
-        };
-        let mut dialer = TcpStream::connect(addr).unwrap();
+        let mut link = LinkFixture::spawn(1);
         // One valid frame first: the link decodes it and forwards it.
         let valid = wire::encode(&Msg::Tuple {
             tuple: dsj_stream::Tuple::new(dsj_stream::StreamId::R, 42, 7, 1),
             piggyback: Vec::new(),
         });
-        dialer.write_all(&valid).unwrap();
+        link.dialer.write_all(&valid).unwrap();
         // Then a corrupt one: version nibble 0xF is not the codec's.
-        dialer.write_all(&[1, 0, 0, 0, 0xF0]).unwrap();
-        dialer.flush().unwrap();
-        reader.join().unwrap();
+        link.dialer.write_all(&[1, 0, 0, 0, 0xF0]).unwrap();
+        link.dialer.flush().unwrap();
+        let (rx, failures) = link.finish();
         match rx.try_recv() {
             Some(TransportEvent::Net { from: 1, msg }) => {
                 assert_eq!(msg.wire_bytes(), valid.len());
@@ -435,19 +841,7 @@ mod tests {
     fn chunk_boundaries_do_not_affect_decoding() {
         // Byte-at-a-time delivery across the socket still reassembles the
         // exact message stream.
-        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
-        let addr = listener.local_addr().unwrap();
-        let (tx, rx) = unbounded();
-        let failures: Arc<Mutex<Vec<LiveError>>> = Arc::new(Mutex::new(Vec::new()));
-        let reader = {
-            let failures = Arc::clone(&failures);
-            thread::spawn(move || {
-                let (stream, _) = listener.accept().unwrap();
-                pump_frames(stream, 2, 0, &tx, &failures);
-            })
-        };
-        let mut dialer = TcpStream::connect(addr).unwrap();
-        dialer.set_nodelay(true).unwrap();
+        let mut link = LinkFixture::spawn(2);
         let msgs: Vec<Msg> = (0..5)
             .map(|i| Msg::Tuple {
                 tuple: dsj_stream::Tuple::new(dsj_stream::StreamId::S, i, u64::from(i), 3),
@@ -456,11 +850,10 @@ mod tests {
             .collect();
         for msg in &msgs {
             for byte in wire::encode(msg) {
-                dialer.write_all(&[byte]).unwrap();
+                link.dialer.write_all(&[byte]).unwrap();
             }
         }
-        drop(dialer);
-        reader.join().unwrap();
+        let (rx, failures) = link.finish();
         assert!(failures.lock().is_empty());
         for expected in &msgs {
             match rx.try_recv() {
@@ -470,5 +863,72 @@ mod tests {
                 other => panic!("missing message, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn reactor_mode_matches_ground_truth_closely() {
+        let outcome = TcpCluster::run_paced_mode(
+            &quick(4, Algorithm::Base),
+            Pacing::Freerun,
+            TcpMode::Reactor,
+        )
+        .unwrap();
+        assert!(
+            outcome.epsilon < 0.02,
+            "eps {} ({} of {})",
+            outcome.epsilon,
+            outcome.reported_matches,
+            outcome.truth_matches
+        );
+        assert!(outcome.messages > 0);
+        // Transport stats are populated and show coalescing: strictly
+        // fewer syscalls than frames would be ideal, but tiny frames can
+        // tie, so assert the weaker invariant syscalls ≤ frames.
+        assert_eq!(outcome.transport_per_node.len(), 4);
+        let frames: u64 = outcome
+            .transport_per_node
+            .iter()
+            .map(|t| t.frames_sent)
+            .sum();
+        let syscalls: u64 = outcome
+            .transport_per_node
+            .iter()
+            .map(|t| t.write_syscalls)
+            .sum();
+        assert_eq!(
+            frames, outcome.messages,
+            "every message framed exactly once"
+        );
+        assert!(
+            syscalls <= frames,
+            "{syscalls} syscalls for {frames} frames"
+        );
+        assert!(
+            outcome
+                .transport_per_node
+                .iter()
+                .any(|t| t.reactor_wakeups > 0),
+            "shards never woke"
+        );
+    }
+
+    #[test]
+    fn all_algorithms_run_over_reactor_tcp() {
+        for algorithm in Algorithm::ALL {
+            let outcome =
+                TcpCluster::run_paced_mode(&quick(3, algorithm), Pacing::Freerun, TcpMode::Reactor)
+                    .unwrap();
+            assert!(
+                (0.0..=1.0).contains(&outcome.epsilon),
+                "{algorithm}: {}",
+                outcome.epsilon
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_mode_reports_no_transport_stats() {
+        let outcome = TcpCluster::run(&quick(3, Algorithm::Base)).unwrap();
+        assert!(outcome.transport_per_node.is_empty());
     }
 }

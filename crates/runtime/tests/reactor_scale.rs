@@ -1,0 +1,90 @@
+//! Reactor-mode scaling guarantees that the unit tests can't see:
+//! cluster-level thread accounting (O(N), not O(N²)) and quiescence
+//! under sustained backpressure.
+
+use dsj_core::{Algorithm, ClusterConfig};
+use dsj_runtime::{Pacing, TcpCluster, TcpMode};
+use dsj_stream::gen::WorkloadKind;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn cfg(n: u16, tuples: usize) -> ClusterConfig {
+    ClusterConfig::new(n, Algorithm::Base)
+        .window(64)
+        .domain(1 << 9)
+        .tuples(tuples)
+        .workload(WorkloadKind::Zipf { alpha: 0.4 })
+        .seed(13)
+}
+
+/// Current thread count of this process, from `/proc/self/status`.
+/// Linux-only by construction; the whole suite targets the Linux CI box.
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[test]
+fn reactor_mode_thread_count_is_linear_in_n() {
+    let n: u16 = 32;
+    // A mesh at n=32 would spawn 32·31 = 992 reader threads on top of the
+    // node threads. The reactor budget is: n node threads + a fixed shard
+    // pool (≤ 8) + transient acceptors (n, but joined before nodes spawn)
+    // + feeder/test overhead. Assert the peak stays within n + 16 extra
+    // threads over the pre-run baseline — loose enough for scheduler
+    // noise, an order of magnitude below O(N²).
+    let baseline = thread_count();
+    let done = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut peak = 0usize;
+            while !done.load(Ordering::SeqCst) {
+                peak = peak.max(thread_count());
+                thread::sleep(Duration::from_millis(1));
+            }
+            peak
+        })
+    };
+    let outcome = TcpCluster::run_paced_mode(&cfg(n, 4_000), Pacing::Freerun, TcpMode::Reactor)
+        .expect("reactor n=32");
+    done.store(true, Ordering::SeqCst);
+    let peak = sampler.join().expect("sampler");
+    assert!(outcome.reported_matches > 0);
+    let budget = baseline + n as usize + 16;
+    assert!(
+        peak <= budget,
+        "thread peak {peak} exceeds O(N) budget {budget} (baseline {baseline})"
+    );
+}
+
+#[test]
+fn freerun_reactor_survives_bursty_backpressure() {
+    // Broadcast (Base) at n=8 on a contended host: node threads are
+    // constantly descheduled mid-stream, so every peer takes turns being
+    // the slow reader while others keep writing. Quiescence must still
+    // complete — parked bytes stay counted until the receiving engine
+    // processes them, so the drain loop cannot be fooled — and accuracy
+    // must not degrade (backpressure delays delivery, never drops it).
+    let outcome = TcpCluster::run_paced_mode(&cfg(8, 8_000), Pacing::Freerun, TcpMode::Reactor)
+        .expect("reactor n=8 freerun");
+    assert!(
+        outcome.epsilon < 0.05,
+        "eps {} ({} of {})",
+        outcome.epsilon,
+        outcome.reported_matches,
+        outcome.truth_matches
+    );
+    let frames: u64 = outcome
+        .transport_per_node
+        .iter()
+        .map(|t| t.frames_sent)
+        .sum();
+    assert_eq!(frames, outcome.messages, "no frame lost or double-counted");
+}

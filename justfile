@@ -68,16 +68,20 @@ live-smoke:
     ./target/release/examples/live_tcp 4 10000 dftt
 
 # Run a workload over real loopback TCP sockets with codec-framed
-# messages, e.g. `just live-tcp 5 50000 bloom lockstep`.
-live-tcp n="4" tuples="20000" algorithm="dftt" pacing="freerun":
+# messages, e.g. `just live-tcp 5 50000 bloom lockstep` or
+# `just live-tcp 128 5000 dftt freerun reactor` (large N needs the
+# reactor; see README "large clusters" for fd-limit notes).
+live-tcp n="4" tuples="20000" algorithm="dftt" pacing="freerun" mode="mesh":
     cargo build --release -p dsj-runtime --example live_tcp
-    ./target/release/examples/live_tcp {{n}} {{tuples}} {{algorithm}} {{pacing}}
+    ./target/release/examples/live_tcp {{n}} {{tuples}} {{algorithm}} {{pacing}} {{mode}}
 
 # Full hot-path throughput suite (micro ns/op + macro tuples/sec for every
-# strategy at N ∈ {4, 16, 32}); records the trajectory in BENCH_pr6.json.
+# strategy, simnet at N ∈ {4, 16, 32} plus real-TCP mesh-vs-reactor at
+# N ∈ {4, 16, 32, 64} and reactor-only N = 128); records the trajectory
+# in BENCH_pr8.json.
 bench:
     cargo build --release -p dsj-bench --bin dsj-bench
-    ./target/release/dsj-bench --out BENCH_pr6.json
+    ./target/release/dsj-bench --out BENCH_pr8.json
 
 # CI-sized bench run — fewer iterations, same record schema — gated on
 # the DFTT reconstruction cliff (fail if macro N=16 DFTT < 1/3 of DFT).
