@@ -1,0 +1,28 @@
+// Fixture: seeded `in-flight-balance` violation only a path-sensitive
+// pass can see. A `fetch_sub` token appears textually before the second
+// `return`, so the v3 linear scan judged the add balanced; the CFG
+// proof sees that the `Backoff` arm's exit path carries no credit.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+pub enum Verdict {
+    Retry,
+    Backoff,
+}
+
+pub struct Feeder {
+    in_flight: AtomicI64,
+}
+
+impl Feeder {
+    pub fn inject(&self, verdict: Verdict) -> Result<(), ()> {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        match verdict {
+            Verdict::Retry => {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return Err(());
+            }
+            Verdict::Backoff => return Err(()),
+        }
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: the decrement hides behind a closure boundary. The v3
+// textual scan could not credit it; v4 lifts the closure as a
+// sub-function wired to its definition site, so this file stays clean.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+pub struct Feeder {
+    in_flight: AtomicI64,
+}
+
+impl Feeder {
+    pub fn inject(&self, ready: bool) -> Result<(), ()> {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if !ready {
+            let undo = || {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            };
+            undo();
+            return Err(());
+        }
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        Ok(())
+    }
+}

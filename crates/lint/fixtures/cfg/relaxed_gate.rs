@@ -1,0 +1,26 @@
+// Fixture: seeded `atomic-protocol` violation — a Relaxed load is the
+// sole gate before the drain side effect, with nothing confirming the
+// hint. `pump_confirmed` uses the reactor's pre-check/swap idiom and
+// must stay clean.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Link {
+    dirty: AtomicBool,
+}
+
+impl Link {
+    pub fn pump_stale(&self) {
+        if self.dirty.load(Ordering::Relaxed) {
+            self.drain();
+        }
+    }
+
+    pub fn pump_confirmed(&self) {
+        if self.dirty.load(Ordering::Relaxed) && self.dirty.swap(false, Ordering::SeqCst) {
+            self.drain();
+        }
+    }
+
+    fn drain(&self) {}
+}

@@ -1,0 +1,24 @@
+// Fixture: seeded `unbounded-growth` violation — `backlog` is pushed on
+// a loop path and nothing in the tree ever drains it. The `ledger`
+// sibling is drained on flush and must stay clean.
+
+pub struct Spool {
+    backlog: Vec<u64>,
+    ledger: Vec<u64>,
+}
+
+impl Spool {
+    pub fn run(&mut self, feed: &[u64]) {
+        for v in feed {
+            self.backlog.push(*v);
+            self.ledger.push(*v);
+        }
+        self.flush();
+    }
+
+    pub fn flush(&mut self) {
+        for v in self.ledger.drain(..) {
+            let _ = v;
+        }
+    }
+}

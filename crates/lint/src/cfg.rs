@@ -1,0 +1,1013 @@
+//! Intra-procedural control-flow graphs over the token substrate.
+//!
+//! The v3 concurrency families scanned function bodies as flat token
+//! ranges, which made every path property (counter balance, guard
+//! liveness) a *textual* approximation. This module recovers a real —
+//! if deliberately small — CFG from the same [`crate::lex`] token
+//! stream the rest of the linter uses:
+//!
+//! - **Basic blocks** split at `if`/`else`, `match` arms, `loop` /
+//!   `while` / `for`, `return`, `?`, `break` and `continue`. Bare
+//!   braced blocks (including struct literals and `unsafe {}`) are
+//!   transparent: their interior threads through the current block.
+//! - **`?`** adds an early edge to the function exit *and* a
+//!   fall-through edge, so "every path reaches X" checks see the error
+//!   path that the textual scan could only guess at.
+//! - **Closures** (and the rare nested `fn`) are *lifted*: their body
+//!   tokens leave the enclosing CFG entirely and are reported in
+//!   [`Cfg::lifted`] so the caller can analyze them as sub-functions
+//!   wired into the call graph at the definition site. A single
+//!   representative token (the opening `|` / `move` / `fn`) stays in
+//!   the enclosing block so lifted bodies still occupy a path position.
+//! - **Exit edges carry a kind**: `Return` and `Try` mark explicit
+//!   early exits, `Seq` marks the fall-through off the end of the body
+//!   — the in-flight balance rule treats fall-through as the designated
+//!   hand-off to the deliver side and early exits as paths that must
+//!   credit a decrement.
+//!
+//! Known approximations (all spelled out in DESIGN.md §6): labeled
+//! `break`/`continue` bind to the innermost loop; `match` *pattern*
+//! tokens (including guards) are appended raw to the arm's first block
+//! without closure lifting; an `if`/`match` nested inside a condition's
+//! parenthesized sub-expression is threaded linearly rather than
+//! branched. Each is an over-approximation that keeps every token
+//! observable to the passes.
+
+use crate::lex::{Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// What an edge means for path classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Ordinary control flow (including loop back edges and the final
+    /// fall-through into the exit block).
+    Seq,
+    /// An explicit `return` statement reaching the function exit.
+    Return,
+    /// The early-return half of a `?` operator.
+    Try,
+}
+
+/// A basic block: ordered token spans plus successor edges.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Half-open token ranges owned by this block, in source order.
+    pub spans: Vec<(usize, usize)>,
+    /// Successor block indices with the edge kind.
+    pub succs: Vec<(usize, EdgeKind)>,
+}
+
+/// A closure or nested `fn` body lifted out of the enclosing CFG.
+#[derive(Debug)]
+pub struct Lifted {
+    /// Token index of the representative token left in the enclosing
+    /// block (the opening `|`, `move`, or `fn`).
+    pub tok: usize,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// Token range of the lifted body (exclusive of delimiters).
+    pub body: (usize, usize),
+    /// `true` for closures, `false` for nested `fn` items.
+    pub is_closure: bool,
+}
+
+/// One `if`/`while` condition with its then-branch, for gate checks.
+#[derive(Debug)]
+pub struct Branch {
+    /// Token range of the condition expression.
+    pub cond: (usize, usize),
+    /// Entry block of the then-branch.
+    pub then_entry: usize,
+    /// Token range of the then-branch body (inside its braces).
+    pub then_range: (usize, usize),
+}
+
+/// Tokens reachable from a point, with a membership query.
+pub struct Reach {
+    base: usize,
+    set: Vec<bool>,
+}
+
+impl Reach {
+    /// Whether token index `t` is reachable.
+    pub fn contains(&self, t: usize) -> bool {
+        t >= self.base && t - self.base < self.set.len() && self.set[t - self.base]
+    }
+}
+
+/// A path from an increment to an early exit with no credit on it.
+#[derive(Debug)]
+pub struct LeakWitness {
+    /// First-token line of each block the witness path traverses.
+    pub path_lines: Vec<u32>,
+    /// Line of the early exit itself.
+    pub exit_line: u32,
+    /// `"return"` or `"?"`.
+    pub exit_kind: &'static str,
+}
+
+/// The CFG of one function (or lifted closure) body.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Blocks; index 0 is the entry, [`Cfg::exit`] the virtual exit.
+    pub blocks: Vec<Block>,
+    /// Entry block index (always 0).
+    pub entry: usize,
+    /// Virtual exit block index (always 1, no spans).
+    pub exit: usize,
+    /// Closure / nested-fn bodies lifted out of this CFG.
+    pub lifted: Vec<Lifted>,
+    /// `if`/`while` conditions with their then-branches.
+    pub branches: Vec<Branch>,
+    /// Token ranges of `loop`/`while`/`for` bodies (for loop-position
+    /// queries).
+    pub loop_bodies: Vec<(usize, usize)>,
+    body: (usize, usize),
+    owner: Vec<u32>,
+}
+
+const NO_BLOCK: u32 = u32::MAX;
+
+fn punct(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(p)) => Some(p.as_str()),
+        _ => None,
+    }
+}
+
+fn ident(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (brace depth only —
+/// literals are already excluded by the lexer); `end` when unbalanced.
+fn brace_match(toks: &[Token], open: usize, end: usize) -> usize {
+    let mut d = 0i32;
+    let mut i = open;
+    while i < end {
+        match punct(toks, i) {
+            Some("{") => d += 1,
+            Some("}") => {
+                d -= 1;
+                if d == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// First `{` (or statement-terminating `;`) at paren/bracket depth zero
+/// from `from` — the body opener of an `if`/`while`/`for`/`match`
+/// header. Skips `unsafe { .. }` operands inside the condition.
+fn find_body_open(toks: &[Token], from: usize, end: usize) -> usize {
+    let mut d = 0i32;
+    let mut i = from;
+    while i < end {
+        match punct(toks, i) {
+            Some("(") | Some("[") => d += 1,
+            Some(")") | Some("]") => d -= 1,
+            Some(";") if d <= 0 => return i,
+            Some("{") if d <= 0 => {
+                if i > from && ident(toks, i - 1) == Some("unsafe") {
+                    i = brace_match(toks, i, end) + 1;
+                    continue;
+                }
+                return i;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// End of the statement starting after a `return`/`break`/`continue`:
+/// the `;` or `,` at depth zero, or the index of an unmatched closer.
+fn stmt_end(toks: &[Token], from: usize, end: usize) -> usize {
+    let mut d = 0i32;
+    let mut i = from;
+    while i < end {
+        match punct(toks, i) {
+            Some("(") | Some("[") | Some("{") => d += 1,
+            Some(")") | Some("]") | Some("}") => {
+                if d == 0 {
+                    return i;
+                }
+                d -= 1;
+            }
+            Some(";") | Some(",") if d == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Whether token `i` starts a closure (`|..|` or `move |..|`), given
+/// that the current expression region began at `region_start`.
+fn closure_start(toks: &[Token], i: usize, region_start: usize) -> bool {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) if s == "move" => matches!(punct(toks, i + 1), Some("|")),
+        Some(TokenKind::Punct(p)) if p == "|" => {
+            if i == region_start {
+                return true;
+            }
+            match toks.get(i - 1).map(|t| &t.kind) {
+                Some(TokenKind::Punct(q)) => {
+                    matches!(q.as_str(), "(" | "," | "=" | "{" | ";" | ":" | "&" | ">")
+                }
+                Some(TokenKind::Ident(s)) => matches!(s.as_str(), "return" | "else" | "move"),
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+struct LoopCtx {
+    head: usize,
+    after: usize,
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    blocks: Vec<Block>,
+    exit: usize,
+    lifted: Vec<Lifted>,
+    branches: Vec<Branch>,
+    loop_bodies: Vec<(usize, usize)>,
+    loop_stack: Vec<LoopCtx>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize, kind: EdgeKind) {
+        if !self.blocks[from].succs.contains(&(to, kind)) {
+            self.blocks[from].succs.push((to, kind));
+        }
+    }
+
+    fn push_tok(&mut self, b: usize, i: usize) {
+        let blk = &mut self.blocks[b];
+        match blk.spans.last_mut() {
+            Some(s) if s.1 == i => s.1 = i + 1,
+            _ => blk.spans.push((i, i + 1)),
+        }
+    }
+
+    /// Lifts the closure starting at `i`; returns the index just past
+    /// its full extent. The representative token `i` must already be
+    /// pushed by the caller.
+    fn lift_closure(&mut self, i: usize, end: usize) -> usize {
+        let line = self.toks[i].line;
+        let bar = if ident(self.toks, i) == Some("move") {
+            i + 1
+        } else {
+            i
+        };
+        let params_end = if punct(self.toks, bar + 1) == Some("|") {
+            bar + 1
+        } else {
+            let mut d = 0i32;
+            let mut j = bar + 1;
+            loop {
+                if j >= end {
+                    break j;
+                }
+                match punct(self.toks, j) {
+                    Some("(") | Some("[") => d += 1,
+                    Some(")") | Some("]") => d -= 1,
+                    Some("|") if d == 0 => break j,
+                    _ => {}
+                }
+                j += 1;
+            }
+        };
+        let mut bs = params_end + 1;
+        // Explicit return type: `|x| -> T { .. }` — skip to the brace.
+        if punct(self.toks, bs) == Some("-") && punct(self.toks, bs + 1) == Some(">") {
+            while bs < end && punct(self.toks, bs) != Some("{") {
+                bs += 1;
+            }
+        }
+        let (body, extent) = if punct(self.toks, bs) == Some("{") {
+            let close = brace_match(self.toks, bs, end);
+            ((bs + 1, close), (close + 1).min(end))
+        } else {
+            let e = stmt_end(self.toks, bs, end);
+            ((bs, e), e)
+        };
+        self.lifted.push(Lifted {
+            tok: i,
+            line,
+            body,
+            is_closure: true,
+        });
+        extent
+    }
+
+    /// Appends a straight-line expression range to `cur`, lifting
+    /// closures and splitting on `?`; returns the (possibly new)
+    /// current block.
+    fn append_expr(&mut self, mut cur: usize, from: usize, to: usize) -> usize {
+        let mut i = from;
+        while i < to {
+            if closure_start(self.toks, i, from) {
+                self.push_tok(cur, i);
+                i = self.lift_closure(i, to);
+                continue;
+            }
+            if punct(self.toks, i) == Some("?") {
+                self.push_tok(cur, i);
+                self.edge(cur, self.exit, EdgeKind::Try);
+                let nb = self.new_block();
+                self.edge(cur, nb, EdgeKind::Seq);
+                cur = nb;
+                i += 1;
+                continue;
+            }
+            self.push_tok(cur, i);
+            i += 1;
+        }
+        cur
+    }
+
+    /// Walks tokens `[start, end)` into the CFG starting in block
+    /// `cur`; returns the block that falls through at `end`.
+    fn seq(&mut self, start: usize, end: usize, mut cur: usize) -> usize {
+        let mut i = start;
+        while i < end {
+            match &self.toks[i].kind {
+                TokenKind::Ident(kw) => match kw.as_str() {
+                    "if" => {
+                        let (ni, nc) = self.parse_if(i, end, cur);
+                        i = ni;
+                        cur = nc;
+                    }
+                    "match" => {
+                        let (ni, nc) = self.parse_match(i, end, cur);
+                        i = ni;
+                        cur = nc;
+                    }
+                    "loop" => {
+                        let (ni, nc) = self.parse_loop(i, end, cur);
+                        i = ni;
+                        cur = nc;
+                    }
+                    "while" => {
+                        let (ni, nc) = self.parse_while_for(i, end, cur);
+                        i = ni;
+                        cur = nc;
+                    }
+                    "for" if punct(self.toks, i + 1) != Some("<") => {
+                        let (ni, nc) = self.parse_while_for(i, end, cur);
+                        i = ni;
+                        cur = nc;
+                    }
+                    "return" => {
+                        self.push_tok(cur, i);
+                        let j = stmt_end(self.toks, i + 1, end);
+                        cur = self.append_expr(cur, i + 1, j);
+                        self.edge(cur, self.exit, EdgeKind::Return);
+                        cur = self.new_block();
+                        i = j;
+                    }
+                    "break" | "continue" => {
+                        let is_break = kw == "break";
+                        self.push_tok(cur, i);
+                        let j = stmt_end(self.toks, i + 1, end);
+                        cur = self.append_expr(cur, i + 1, j);
+                        let (tgt, kind) = match self.loop_stack.last() {
+                            Some(ctx) if is_break => (ctx.after, EdgeKind::Seq),
+                            Some(ctx) => (ctx.head, EdgeKind::Seq),
+                            None => (self.exit, EdgeKind::Seq),
+                        };
+                        self.edge(cur, tgt, kind);
+                        cur = self.new_block();
+                        i = j;
+                    }
+                    "move" if closure_start(self.toks, i, i) => {
+                        self.push_tok(cur, i);
+                        i = self.lift_closure(i, end);
+                    }
+                    "fn" if matches!(
+                        self.toks.get(i + 1).map(|t| &t.kind),
+                        Some(TokenKind::Ident(_))
+                    ) =>
+                    {
+                        // A nested `fn` item: lift like a closure so its
+                        // `return`s don't alias the outer exit.
+                        self.push_tok(cur, i);
+                        let line = self.toks[i].line;
+                        let open = find_body_open(self.toks, i + 1, end);
+                        if punct(self.toks, open) == Some("{") {
+                            let close = brace_match(self.toks, open, end);
+                            self.lifted.push(Lifted {
+                                tok: i,
+                                line,
+                                body: (open + 1, close),
+                                is_closure: false,
+                            });
+                            i = close + 1;
+                        } else {
+                            i = open + 1;
+                        }
+                    }
+                    _ => {
+                        self.push_tok(cur, i);
+                        i += 1;
+                    }
+                },
+                TokenKind::Punct(p) => match p.as_str() {
+                    "?" => {
+                        self.push_tok(cur, i);
+                        self.edge(cur, self.exit, EdgeKind::Try);
+                        let nb = self.new_block();
+                        self.edge(cur, nb, EdgeKind::Seq);
+                        cur = nb;
+                        i += 1;
+                    }
+                    "{" => {
+                        // Bare block / struct literal / `unsafe {}` body:
+                        // transparent — the interior threads through.
+                        self.push_tok(cur, i);
+                        let close = brace_match(self.toks, i, end);
+                        cur = self.seq(i + 1, close, cur);
+                        if close < end {
+                            self.push_tok(cur, close);
+                        }
+                        i = close + 1;
+                    }
+                    "|" if closure_start(self.toks, i, start) => {
+                        self.push_tok(cur, i);
+                        i = self.lift_closure(i, end);
+                    }
+                    _ => {
+                        self.push_tok(cur, i);
+                        i += 1;
+                    }
+                },
+                _ => {
+                    self.push_tok(cur, i);
+                    i += 1;
+                }
+            }
+        }
+        cur
+    }
+
+    fn parse_if(&mut self, i: usize, end: usize, cur: usize) -> (usize, usize) {
+        self.push_tok(cur, i);
+        let open = find_body_open(self.toks, i + 1, end);
+        let cond_end_block = self.append_expr(cur, i + 1, open);
+        if punct(self.toks, open) != Some("{") {
+            // Malformed header — nothing more to branch on.
+            return (open + 1, cond_end_block);
+        }
+        let close = brace_match(self.toks, open, end);
+        let then_entry = self.new_block();
+        self.edge(cond_end_block, then_entry, EdgeKind::Seq);
+        self.branches.push(Branch {
+            cond: (i + 1, open),
+            then_entry,
+            then_range: (open + 1, close),
+        });
+        let then_exit = self.seq(open + 1, close, then_entry);
+        let j = close + 1;
+        if ident(self.toks, j) == Some("else") {
+            if ident(self.toks, j + 1) == Some("if") {
+                let else_entry = self.new_block();
+                self.edge(cond_end_block, else_entry, EdgeKind::Seq);
+                self.push_tok(else_entry, j);
+                let (j2, else_exit) = self.parse_if(j + 1, end, else_entry);
+                let join = self.new_block();
+                self.edge(then_exit, join, EdgeKind::Seq);
+                self.edge(else_exit, join, EdgeKind::Seq);
+                return (j2, join);
+            }
+            if punct(self.toks, j + 1) == Some("{") {
+                let close2 = brace_match(self.toks, j + 1, end);
+                let else_entry = self.new_block();
+                self.edge(cond_end_block, else_entry, EdgeKind::Seq);
+                self.push_tok(else_entry, j);
+                let else_exit = self.seq(j + 2, close2, else_entry);
+                let join = self.new_block();
+                self.edge(then_exit, join, EdgeKind::Seq);
+                self.edge(else_exit, join, EdgeKind::Seq);
+                return (close2 + 1, join);
+            }
+        }
+        let join = self.new_block();
+        self.edge(cond_end_block, join, EdgeKind::Seq);
+        self.edge(then_exit, join, EdgeKind::Seq);
+        (j, join)
+    }
+
+    fn parse_match(&mut self, i: usize, end: usize, cur: usize) -> (usize, usize) {
+        self.push_tok(cur, i);
+        let open = find_body_open(self.toks, i + 1, end);
+        let scrut_block = self.append_expr(cur, i + 1, open);
+        if punct(self.toks, open) != Some("{") {
+            return (open + 1, scrut_block);
+        }
+        let close = brace_match(self.toks, open, end);
+        let join = self.new_block();
+        let mut j = open + 1;
+        let mut any_arm = false;
+        while j < close {
+            // Find the `=>` (lexed as `=` then `>`) at bracket depth 0.
+            let mut d = 0i32;
+            let mut k = j;
+            let arrow = loop {
+                if k >= close {
+                    break None;
+                }
+                match punct(self.toks, k) {
+                    Some("(") | Some("[") | Some("{") => d += 1,
+                    Some(")") | Some("]") | Some("}") => d -= 1,
+                    Some("=") if d == 0 && punct(self.toks, k + 1) == Some(">") => break Some(k),
+                    _ => {}
+                }
+                k += 1;
+            };
+            let Some(arrow) = arrow else {
+                break;
+            };
+            any_arm = true;
+            let arm_entry = self.new_block();
+            self.edge(scrut_block, arm_entry, EdgeKind::Seq);
+            // Pattern (and guard) tokens, raw — no lifting: `|` here is
+            // alternation, not a closure.
+            for t in j..arrow + 2 {
+                self.push_tok(arm_entry, t);
+            }
+            let b = arrow + 2;
+            let (arm_exit, next_j) = if punct(self.toks, b) == Some("{") {
+                let bc = brace_match(self.toks, b, close);
+                let ex = self.seq(b + 1, bc, arm_entry);
+                let mut nj = bc + 1;
+                if punct(self.toks, nj) == Some(",") {
+                    nj += 1;
+                }
+                (ex, nj)
+            } else {
+                let e = stmt_end(self.toks, b, close);
+                let ex = self.seq(b, e, arm_entry);
+                let mut nj = e;
+                if punct(self.toks, nj) == Some(",") {
+                    nj += 1;
+                }
+                (ex, nj)
+            };
+            self.edge(arm_exit, join, EdgeKind::Seq);
+            j = next_j;
+        }
+        if !any_arm {
+            self.edge(scrut_block, join, EdgeKind::Seq);
+        }
+        (close + 1, join)
+    }
+
+    fn parse_loop(&mut self, i: usize, end: usize, cur: usize) -> (usize, usize) {
+        self.push_tok(cur, i);
+        let open = find_body_open(self.toks, i + 1, end);
+        if punct(self.toks, open) != Some("{") {
+            return (open + 1, cur);
+        }
+        let close = brace_match(self.toks, open, end);
+        let head = self.new_block();
+        self.edge(cur, head, EdgeKind::Seq);
+        let after = self.new_block();
+        // dsj-lint: allow(unbounded-growth) — Builder lives for one build(); the list is bounded by the body's loop count, not a runtime queue
+        self.loop_bodies.push((open + 1, close));
+        self.loop_stack.push(LoopCtx { head, after });
+        let body_exit = self.seq(open + 1, close, head);
+        self.edge(body_exit, head, EdgeKind::Seq);
+        self.loop_stack.pop();
+        (close + 1, after)
+    }
+
+    /// `while`/`while let`/`for`: condition in the head block, an edge
+    /// into the body and one past it, body exit looping back.
+    fn parse_while_for(&mut self, i: usize, end: usize, cur: usize) -> (usize, usize) {
+        let head = self.new_block();
+        self.edge(cur, head, EdgeKind::Seq);
+        self.push_tok(head, i);
+        let open = find_body_open(self.toks, i + 1, end);
+        let cond_block = self.append_expr(head, i + 1, open);
+        if punct(self.toks, open) != Some("{") {
+            return (open + 1, cond_block);
+        }
+        let close = brace_match(self.toks, open, end);
+        let after = self.new_block();
+        let body_entry = self.new_block();
+        self.edge(cond_block, body_entry, EdgeKind::Seq);
+        self.edge(cond_block, after, EdgeKind::Seq);
+        if ident(self.toks, i) == Some("while") {
+            self.branches.push(Branch {
+                cond: (i + 1, open),
+                then_entry: body_entry,
+                then_range: (open + 1, close),
+            });
+        }
+        self.loop_bodies.push((open + 1, close));
+        self.loop_stack.push(LoopCtx { head, after });
+        let body_exit = self.seq(open + 1, close, body_entry);
+        self.edge(body_exit, head, EdgeKind::Seq);
+        self.loop_stack.pop();
+        (close + 1, after)
+    }
+}
+
+/// Builds the CFG of a body token range (exclusive of its braces).
+pub fn build(toks: &[Token], body: (usize, usize)) -> Cfg {
+    let end = body.1.min(toks.len());
+    let body = (body.0.min(end), end);
+    let mut b = Builder {
+        toks,
+        blocks: vec![Block::default(), Block::default()],
+        exit: 1,
+        lifted: Vec::new(),
+        branches: Vec::new(),
+        loop_bodies: Vec::new(),
+        loop_stack: Vec::new(),
+    };
+    let last = b.seq(body.0, body.1, 0);
+    b.edge(last, 1, EdgeKind::Seq);
+    let mut owner = vec![NO_BLOCK; body.1 - body.0];
+    for (bi, blk) in b.blocks.iter().enumerate() {
+        for &(s, e) in &blk.spans {
+            for t in s..e {
+                if t >= body.0 && t < body.1 {
+                    owner[t - body.0] = bi as u32;
+                }
+            }
+        }
+    }
+    Cfg {
+        blocks: b.blocks,
+        entry: 0,
+        exit: 1,
+        lifted: b.lifted,
+        branches: b.branches,
+        loop_bodies: b.loop_bodies,
+        body,
+        owner,
+    }
+}
+
+impl Cfg {
+    /// The block owning token `t`; `None` for lifted regions and
+    /// tokens outside the body.
+    pub fn block_of(&self, t: usize) -> Option<usize> {
+        if t < self.body.0 || t >= self.body.1 {
+            return None;
+        }
+        match self.owner[t - self.body.0] {
+            NO_BLOCK => None,
+            b => Some(b as usize),
+        }
+    }
+
+    /// Whether token `t` sits inside a `loop`/`while`/`for` body.
+    pub fn in_loop(&self, t: usize) -> bool {
+        self.loop_bodies.iter().any(|&(s, e)| t >= s && t < e)
+    }
+
+    /// Every token reachable from just after `from` along some path,
+    /// stopping at any token in `kills` or at index `bound` — the
+    /// branch-aware replacement for "tokens between acquisition and
+    /// scope end".
+    pub fn reachable_after(&self, from: usize, bound: usize, kills: &[usize]) -> Reach {
+        let mut set = vec![false; self.body.1 - self.body.0];
+        let Some(b0) = self.block_of(from) else {
+            return Reach {
+                base: self.body.0,
+                set,
+            };
+        };
+        let mut visited = vec![false; self.blocks.len()];
+        let mut work: Vec<usize> = Vec::new();
+        if self.walk_block(b0, from + 1, bound, kills, &mut set) {
+            for &(s, _) in &self.blocks[b0].succs {
+                if !visited[s] {
+                    visited[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+        while let Some(b) = work.pop() {
+            if self.walk_block(b, 0, bound, kills, &mut set) {
+                for &(s, _) in &self.blocks[b].succs {
+                    if !visited[s] {
+                        visited[s] = true;
+                        work.push(s);
+                    }
+                }
+            }
+        }
+        Reach {
+            base: self.body.0,
+            set,
+        }
+    }
+
+    /// Marks the tokens of block `b` from `min_tok` on; returns whether
+    /// the walk ran off the end of the block (successors live).
+    fn walk_block(
+        &self,
+        b: usize,
+        min_tok: usize,
+        bound: usize,
+        kills: &[usize],
+        set: &mut [bool],
+    ) -> bool {
+        for &(s, e) in &self.blocks[b].spans {
+            for t in s.max(min_tok)..e {
+                if t >= bound || kills.contains(&t) {
+                    return false;
+                }
+                set[t - self.body.0] = true;
+            }
+        }
+        true
+    }
+
+    /// Searches for a path from just after `from` to an *early* exit
+    /// (`return` or `?`) that never passes a token in `credits`. The
+    /// fall-through exit is the designated hand-off and never leaks.
+    /// Returns the first such path, deterministically, as a witness.
+    pub fn uncredited_exit(
+        &self,
+        toks: &[Token],
+        from: usize,
+        credits: &BTreeSet<usize>,
+    ) -> Option<LeakWitness> {
+        let b0 = self.block_of(from)?;
+        let mut visited = vec![false; self.blocks.len()];
+        let mut path: Vec<u32> = vec![toks[from].line];
+        self.leak_dfs(toks, b0, from + 1, credits, &mut visited, &mut path)
+    }
+
+    fn leak_dfs(
+        &self,
+        toks: &[Token],
+        b: usize,
+        min_tok: usize,
+        credits: &BTreeSet<usize>,
+        visited: &mut Vec<bool>,
+        path: &mut Vec<u32>,
+    ) -> Option<LeakWitness> {
+        let mut last_line = None;
+        for &(s, e) in &self.blocks[b].spans {
+            for (t, tok) in toks.iter().enumerate().take(e).skip(s.max(min_tok)) {
+                if credits.contains(&t) {
+                    return None; // this path is credited
+                }
+                last_line = Some(tok.line);
+            }
+        }
+        for &(succ, kind) in &self.blocks[b].succs {
+            if succ == self.exit {
+                let exit_kind = match kind {
+                    EdgeKind::Return => "return",
+                    EdgeKind::Try => "?",
+                    EdgeKind::Seq => continue, // fall-through hand-off
+                };
+                let mut path_lines = path.clone();
+                if let Some(l) = last_line {
+                    if path_lines.last() != Some(&l) {
+                        path_lines.push(l);
+                    }
+                }
+                path_lines.dedup();
+                return Some(LeakWitness {
+                    path_lines,
+                    exit_line: last_line.unwrap_or(*path.last().unwrap_or(&0)),
+                    exit_kind,
+                });
+            }
+            if !visited[succ] {
+                visited[succ] = true;
+                let entry_line = self.blocks[succ].spans.first().map(|&(s, _)| toks[s].line);
+                if let Some(l) = entry_line {
+                    path.push(l);
+                }
+                if let Some(w) = self.leak_dfs(toks, succ, 0, credits, visited, path) {
+                    return Some(w);
+                }
+                if entry_line.is_some() {
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex;
+    use crate::parse::parse_items;
+
+    fn cfg_of(src: &str) -> (Vec<Token>, Cfg) {
+        let scan = lex::scan(src);
+        let items = parse_items(&scan);
+        let body = items.fns[0].body.expect("fn body");
+        let cfg = build(&scan.tokens, body);
+        (scan.tokens, cfg)
+    }
+
+    fn tok_at(toks: &[Token], name: &str, nth: usize) -> usize {
+        toks.iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(&t.kind, TokenKind::Ident(s) if s == name))
+            .map(|(i, _)| i)
+            .nth(nth)
+            .unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block_plus_exit() {
+        let (_, cfg) = cfg_of("fn f() { a(); b(); }");
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![(cfg.exit, EdgeKind::Seq)]);
+        assert!(cfg.lifted.is_empty());
+    }
+
+    #[test]
+    fn if_else_branches_and_joins() {
+        let (toks, cfg) = cfg_of("fn f(c: bool) { if c { a(); } else { b(); } t(); }");
+        // Entry has two successors (then, else); both reach the tail.
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 2);
+        let a = tok_at(&toks, "a", 0);
+        let b = tok_at(&toks, "b", 0);
+        let t = tok_at(&toks, "t", 0);
+        assert_ne!(cfg.block_of(a), cfg.block_of(b));
+        // The tail is reachable from both branches.
+        let from_a = cfg.reachable_after(a, usize::MAX, &[]);
+        assert!(from_a.contains(t));
+        assert!(!from_a.contains(b), "siblings are not on the same path");
+        assert_eq!(cfg.branches.len(), 1);
+    }
+
+    #[test]
+    fn match_arms_are_sibling_blocks() {
+        let (toks, cfg) =
+            cfg_of("fn f(x: u8) { match x { 0 => a(), 1 => { b(); } _ => c(), } t(); }");
+        let a = tok_at(&toks, "a", 0);
+        let b = tok_at(&toks, "b", 0);
+        let c = tok_at(&toks, "c", 0);
+        let t = tok_at(&toks, "t", 0);
+        let blocks: Vec<_> = [a, b, c].iter().map(|&i| cfg.block_of(i)).collect();
+        assert!(blocks.iter().all(|x| x.is_some()));
+        assert_ne!(blocks[0], blocks[1]);
+        assert_ne!(blocks[1], blocks[2]);
+        let from_a = cfg.reachable_after(a, usize::MAX, &[]);
+        assert!(from_a.contains(t));
+        assert!(!from_a.contains(b));
+        assert!(!from_a.contains(c));
+    }
+
+    #[test]
+    fn return_and_try_edges_are_early_exits() {
+        let (toks, cfg) = cfg_of("fn f(x: R) -> R { if c() { return e(); } g()?; h() }");
+        let e = tok_at(&toks, "e", 0);
+        let eb = cfg.block_of(e).unwrap();
+        assert!(cfg.blocks[eb]
+            .succs
+            .iter()
+            .any(|&(s, k)| s == cfg.exit && k == EdgeKind::Return));
+        let g = tok_at(&toks, "g", 0);
+        let gb = cfg.block_of(g).unwrap();
+        assert!(cfg.blocks[gb]
+            .succs
+            .iter()
+            .any(|&(s, k)| s == cfg.exit && k == EdgeKind::Try));
+    }
+
+    #[test]
+    fn closures_are_lifted_out_of_blocks() {
+        let (toks, cfg) = cfg_of("fn f(v: Vec<u32>) { v.iter().map(|x| inner(x)).count(); t(); }");
+        assert_eq!(cfg.lifted.len(), 1);
+        let inner = tok_at(&toks, "inner", 0);
+        assert!(cfg.block_of(inner).is_none(), "closure body left the CFG");
+        let (s, e) = cfg.lifted[0].body;
+        assert!(inner >= s && inner < e);
+        let t = tok_at(&toks, "t", 0);
+        assert!(cfg.block_of(t).is_some());
+    }
+
+    #[test]
+    fn loops_have_back_edges_and_loop_ranges() {
+        let (toks, cfg) = cfg_of("fn f() { loop { a(); if d() { break; } } t(); }");
+        let a = tok_at(&toks, "a", 0);
+        assert!(cfg.in_loop(a));
+        let t = tok_at(&toks, "t", 0);
+        assert!(!cfg.in_loop(t));
+        // `t` is reachable from inside the loop via the break.
+        assert!(cfg.reachable_after(a, usize::MAX, &[]).contains(t));
+    }
+
+    #[test]
+    fn while_condition_can_skip_the_body() {
+        let (toks, cfg) = cfg_of("fn f() { while c() { a(); } t(); }");
+        let c = tok_at(&toks, "c", 0);
+        let a = tok_at(&toks, "a", 0);
+        let t = tok_at(&toks, "t", 0);
+        let from_c = cfg.reachable_after(c, usize::MAX, &[]);
+        assert!(from_c.contains(a));
+        assert!(from_c.contains(t));
+        // From inside the body the condition is reachable again (back
+        // edge), and so is the tail.
+        let from_a = cfg.reachable_after(a, usize::MAX, &[]);
+        assert!(from_a.contains(t));
+        assert!(from_a.contains(c));
+    }
+
+    #[test]
+    fn kills_stop_reachability_per_path() {
+        // drop(g) in one arm must not kill liveness in the sibling arm.
+        let (toks, cfg) = cfg_of(
+            "fn f(x: u8) { let g = l(); match x { 0 => { drop(g); a(); } _ => { b(); } } t(); }",
+        );
+        let l = tok_at(&toks, "l", 0);
+        let d = tok_at(&toks, "drop", 0);
+        let a = tok_at(&toks, "a", 0);
+        let b = tok_at(&toks, "b", 0);
+        let t = tok_at(&toks, "t", 0);
+        let live = cfg.reachable_after(l, usize::MAX, &[d]);
+        assert!(!live.contains(a), "dropped before `a` on its own path");
+        assert!(live.contains(b), "sibling arm still holds the guard");
+        assert!(live.contains(t), "join reachable through the sibling arm");
+    }
+
+    #[test]
+    fn uncredited_branch_exit_produces_a_witness() {
+        let src = "fn f(x: u8) -> Result<(), ()> {\n\
+                   add();\n\
+                   match x {\n\
+                   0 => { credit(); return Err(()); }\n\
+                   _ => return Err(()),\n\
+                   }\n\
+                   }";
+        let (toks, cfg) = cfg_of(src);
+        let add = tok_at(&toks, "add", 0);
+        let credit = tok_at(&toks, "credit", 0);
+        let mut credits = BTreeSet::new();
+        credits.insert(credit);
+        let w = cfg.uncredited_exit(&toks, add, &credits).expect("leak");
+        assert_eq!(w.exit_kind, "return");
+        assert_eq!(w.exit_line, 5, "the uncredited arm's return");
+        assert!(w.path_lines.contains(&5));
+    }
+
+    #[test]
+    fn credited_on_every_path_is_clean_and_fallthrough_is_handoff() {
+        let src = "fn f(x: u8) -> Result<(), ()> {\n\
+                   add();\n\
+                   if x == 0 { credit(); return Err(()); }\n\
+                   Ok(())\n\
+                   }";
+        let (toks, cfg) = cfg_of(src);
+        let add = tok_at(&toks, "add", 0);
+        let credit = tok_at(&toks, "credit", 0);
+        let mut credits = BTreeSet::new();
+        credits.insert(credit);
+        assert!(cfg.uncredited_exit(&toks, add, &credits).is_none());
+    }
+
+    #[test]
+    fn try_exit_is_a_leak_when_uncredited() {
+        let src = "fn f() -> Result<(), ()> { add(); g()?; credit(); Ok(()) }";
+        let (toks, cfg) = cfg_of(src);
+        let add = tok_at(&toks, "add", 0);
+        let credit = tok_at(&toks, "credit", 0);
+        let mut credits = BTreeSet::new();
+        credits.insert(credit);
+        let w = cfg.uncredited_exit(&toks, add, &credits).expect("? leaks");
+        assert_eq!(w.exit_kind, "?");
+    }
+
+    #[test]
+    fn nested_fns_are_lifted() {
+        let (toks, cfg) = cfg_of("fn f() { fn helper() { x(); } a(); }");
+        assert_eq!(cfg.lifted.len(), 1);
+        assert!(!cfg.lifted[0].is_closure);
+        let x = tok_at(&toks, "x", 0);
+        assert!(cfg.block_of(x).is_none());
+        let a = tok_at(&toks, "a", 0);
+        assert!(cfg.block_of(a).is_some());
+    }
+}

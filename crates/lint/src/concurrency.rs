@@ -1,55 +1,62 @@
 //! Concurrency-discipline analyses: lock-order cycles, guards held across
-//! blocking calls, and in-flight counter balance.
+//! blocking calls, and in-flight counter balance — CFG-based since v4.
 //!
 //! Three tree-level rule families share one pass over the ungated,
 //! non-exempt workspace functions:
 //!
-//! - **`lock-order`** — every `.lock()` site is attributed to a *named*
-//!   lock (the last field, variable or accessor-fn identifier of its
-//!   receiver chain: `self.failures.lock()` → `failures`,
-//!   `exclusivity().lock()` → `exclusivity`). While a guard is live, any
-//!   further acquisition — directly or through a resolved workspace call
-//!   that transitively locks — adds a may-hold-while-acquiring edge. A
+//! - **`lock-order`** — every `.lock()` (and zero-argument `.read()` /
+//!   `.write()`, the `RwLock` guard constructors) is attributed to a
+//!   *named* lock (the last field, variable or accessor-fn identifier of
+//!   its receiver chain: `self.failures.lock()` → `failures`,
+//!   `self.links[i].queue.lock()` → `queue`). While a guard is live on
+//!   some path, any further acquisition — directly or through a resolved
+//!   workspace call that transitively locks — adds a
+//!   may-hold-while-acquiring edge carrying the reader/writer mode. A
 //!   cycle in that graph means two code paths can take the same locks in
 //!   opposite orders; the finding carries the full witness path. A
 //!   `.lock()` whose receiver cannot be named is itself a finding:
 //!   unattributable guards would silently fall out of the proof.
-//! - **`guard-across-blocking`** — a live guard spanning a call whose
-//!   name is in [`BLOCKING_CALLS`] (or that resolves to a workspace
-//!   function which transitively makes one) is flagged: a blocked thread
-//!   holds the lock and stalls every other party.
+//! - **`guard-across-blocking`** — a guard live on a path reaching a
+//!   call whose name is in [`BLOCKING_CALLS`] (or that resolves to a
+//!   workspace function which transitively makes one) is flagged: a
+//!   blocked thread holds the lock and stalls every other party.
 //! - **`in-flight-balance`** — for counters in [`BALANCED_COUNTERS`]:
-//!   an explicit `return`/`?` exit after `fetch_add` with no intervening
-//!   `fetch_sub` leaks the count (abort paths must decrement; the success
-//!   path falls off the end of the block and hands the count to the
-//!   deliver side); a visibility call ([`VISIBILITY_CALLS`]) before the
-//!   first `fetch_add` inverts the increment-before-visibility protocol;
-//!   and a counter with adds but no subs anywhere in the tree (or vice
-//!   versa) can never quiesce.
+//!   every CFG path from a `fetch_add` to an *early* exit (`return` or
+//!   `?`) must pass a `fetch_sub` on the same counter or a call that
+//!   transitively decrements it (closures count: their bodies are lifted
+//!   as sub-functions credited at the definition site); the fall-through
+//!   exit is the designated hand-off to the deliver side. A leak finding
+//!   carries the witness path. A visibility call ([`VISIBILITY_CALLS`])
+//!   with a path to the first `fetch_add` inverts the
+//!   increment-before-visibility protocol; and a counter with adds but
+//!   no subs anywhere in the tree (or vice versa) can never quiesce.
 //!
-//! Guard scopes are tracked textually from declaration to drop or end of
-//! block: `let g = x.lock()..` is live until the enclosing block closes
-//! or `drop(g)`; a `.lock()` not bound to a simple `let` identifier
-//! (temporaries, `let Some(g) = ..` patterns, `let _ = ..`) is live to
-//! the end of its statement. Lock identity is name-based, call
-//! resolution reuses the over-approximate union resolver of
-//! [`crate::callgraph`], and the path checks are textual rather than
-//! CFG-accurate — the limits are spelled out in DESIGN.md §6.
+//! Guard *liveness* is path-sensitive: the live region of a `let`-bound
+//! guard is every token reachable from the acquisition without passing a
+//! `drop(var)` or leaving the binding block — a guard dropped in one
+//! `match` arm stays live in its siblings, and only there. Temporaries
+//! and pattern bindings stay live to the end of their statement. Lock
+//! identity is name-based and call resolution reuses the
+//! over-approximate union resolver of [`crate::callgraph`]; the residual
+//! approximations are spelled out in DESIGN.md §6.
 
 use crate::callgraph::{is_call, FileGraphInput, CLEAN_METHODS, KEYWORDS};
+use crate::cfg::{self, Cfg};
 use crate::lex::{Token, TokenKind};
 use crate::rules::{Finding, Rule};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Call names treated as potentially blocking when a lock guard is live.
-/// Sorted — looked up by binary search.
-pub const BLOCKING_CALLS: [&str; 20] = [
+/// Sorted — looked up by binary search. Bare `read`/`write` are *not*
+/// here: with no arguments they are `RwLock` guard constructors (tracked
+/// as acquisitions), and the I/O forms (`read_exact`, `write_all`,
+/// `write_vectored`, ...) carry buffers and keep their own entries.
+pub const BLOCKING_CALLS: [&str; 18] = [
     "accept",
     "connect",
     "flush",
     "join",
     "park",
-    "read",
     "read_exact",
     "read_to_end",
     "recv",
@@ -61,7 +68,6 @@ pub const BLOCKING_CALLS: [&str; 20] = [
     "wait",
     "wait_timeout",
     "wait_timeout_while",
-    "write",
     "write_all",
     "write_vectored",
 ];
@@ -77,21 +83,45 @@ pub const VISIBILITY_CALLS: [&str; 3] = ["send", "write", "write_all"];
 pub const BALANCED_COUNTERS: [&str; 1] = ["in_flight"];
 
 /// `(file index, item index)` — a function's identity across the pass.
-type Key = (usize, usize);
+/// Lifted closures get synthetic item indices past the file's real ones.
+pub(crate) type Key = (usize, usize);
 
-/// One `.lock()` acquisition and the token range its guard is live for.
-struct LockSite {
-    /// Attributed lock name; `None` when the receiver cannot be named.
-    name: Option<String>,
-    tok: usize,
-    line: u32,
-    /// Exclusive token index where the guard dies (drop, `;`, or block
-    /// close).
-    scope_end: usize,
+/// How a guard was constructed — `Mutex::lock`, `RwLock::read` or
+/// `RwLock::write`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GuardMode {
+    Mutex,
+    Read,
+    Write,
 }
 
-/// A call site that resolved to at least one workspace function.
-struct CallSite {
+impl GuardMode {
+    fn word(self) -> &'static str {
+        match self {
+            GuardMode::Mutex => "guard",
+            GuardMode::Read => "read guard",
+            GuardMode::Write => "write guard",
+        }
+    }
+}
+
+/// One acquisition site and the bounds of its guard's life.
+pub(crate) struct LockSite {
+    /// Attributed lock name; `None` when the receiver cannot be named.
+    name: Option<String>,
+    mode: GuardMode,
+    tok: usize,
+    line: u32,
+    /// Hard bound: the binding block's close (bound guards) or the end
+    /// of the statement (temporaries), exclusive.
+    scope_end: usize,
+    /// Every `drop(var)` of the bound guard — path-sensitive kills.
+    drops: Vec<usize>,
+}
+
+/// A call site that resolved to at least one workspace function (or a
+/// lifted closure).
+pub(crate) struct CallSite {
     tok: usize,
     line: u32,
     name: String,
@@ -99,36 +129,55 @@ struct CallSite {
 }
 
 /// A call whose *name* is in [`BLOCKING_CALLS`], resolved or not.
-struct BlockingSite {
+pub(crate) struct BlockingSite {
     tok: usize,
     line: u32,
     name: String,
 }
 
 /// A `fetch_add`/`fetch_sub` on a balanced counter.
-struct CounterSite {
+pub(crate) struct CounterSite {
     counter: String,
     tok: usize,
     line: u32,
 }
 
-/// Everything the analyses need from one function body.
-struct FnData {
-    key: Key,
-    file: usize,
-    display: String,
-    body: (usize, usize),
+/// A visibility call site ([`VISIBILITY_CALLS`]).
+pub(crate) struct VisSite {
+    tok: usize,
+    line: u32,
+    name: String,
+}
+
+/// Everything the analyses need from one function (or closure) body.
+pub(crate) struct FnData {
+    pub(crate) key: Key,
+    pub(crate) file: usize,
+    pub(crate) display: String,
+    pub(crate) body: (usize, usize),
+    pub(crate) cfg: Cfg,
     locks: Vec<LockSite>,
-    calls: Vec<CallSite>,
+    pub(crate) calls: Vec<CallSite>,
     blocking: Vec<BlockingSite>,
     adds: Vec<CounterSite>,
     subs: Vec<CounterSite>,
+    vis: Vec<VisSite>,
+}
+
+impl CallSite {
+    pub(crate) fn tok(&self) -> usize {
+        self.tok
+    }
+    pub(crate) fn callees(&self) -> &[Key] {
+        &self.callees
+    }
 }
 
 /// A may-hold-while-acquiring edge: `to` is (possibly transitively)
 /// acquired while a guard of `from` is live.
 struct Edge {
     from: String,
+    from_mode: GuardMode,
     to: String,
     file: String,
     line: u32,
@@ -140,10 +189,17 @@ struct Edge {
 
 /// Name-resolution tables over the same function set the call-graph pass
 /// uses (ungated, non-exempt, with a body).
-struct Tables {
+pub(crate) struct Tables {
     by_qual: BTreeMap<(String, String), Vec<Key>>,
     by_name: BTreeMap<String, Vec<Key>>,
     free_by_name: BTreeMap<String, Vec<Key>>,
+}
+
+/// The scanned function set plus its index — shared by this pass and the
+/// v4 [`crate::atomics`] / [`crate::growth`] passes.
+pub(crate) struct Model {
+    pub(crate) fns: Vec<FnData>,
+    pub(crate) fn_index: BTreeMap<Key, usize>,
 }
 
 fn punct(toks: &[Token], i: usize) -> Option<&str> {
@@ -162,33 +218,61 @@ fn ident(toks: &[Token], i: usize) -> Option<&str> {
 
 /// Runs the concurrency pass over the scanned files.
 pub fn analyze(files: &[FileGraphInput<'_>]) -> Vec<Finding> {
+    let model = build_model(files);
+    analyze_model(&model, files)
+}
+
+/// Scans every ungated, non-exempt function (and its lifted closures)
+/// into the shared [`Model`].
+pub(crate) fn build_model(files: &[FileGraphInput<'_>]) -> Model {
     let tables = build_tables(files);
     let mut fns: Vec<FnData> = Vec::new();
     for (fi, f) in files.iter().enumerate() {
         if f.exempt {
             continue;
         }
+        let mut next_sub = f.items.fns.len();
         for (ii, item) in f.items.fns.iter().enumerate() {
-            if item.gated || item.body.is_none() {
+            if item.gated {
                 continue;
             }
-            fns.push(scan_fn(files, &tables, fi, ii));
+            let Some(body) = item.body else {
+                continue;
+            };
+            scan_region(
+                files,
+                &tables,
+                fi,
+                &item.owner,
+                item.display(),
+                (body.0, body.1.min(f.tokens.len())),
+                (fi, ii),
+                &mut next_sub,
+                &mut fns,
+            );
         }
     }
     let mut fn_index: BTreeMap<Key, usize> = BTreeMap::new();
     for (i, f) in fns.iter().enumerate() {
         fn_index.insert(f.key, i);
     }
+    Model { fns, fn_index }
+}
 
-    let may_block = may_block_fixpoint(files, &fns, &fn_index);
-    let acquires = acquires_fixpoint(files, &fns, &fn_index);
+/// The lock-order / guard-across-blocking / in-flight checks over a
+/// prebuilt model.
+pub(crate) fn analyze_model(model: &Model, files: &[FileGraphInput<'_>]) -> Vec<Finding> {
+    let fns = &model.fns;
+    let fn_index = &model.fn_index;
+    let may_block = may_block_fixpoint(files, fns, fn_index);
+    let acquires = acquires_fixpoint(files, fns, fn_index);
 
     let mut findings: Vec<Finding> = Vec::new();
     let mut seen: BTreeSet<(String, u32, Rule, String)> = BTreeSet::new();
     let mut edges: Vec<Edge> = Vec::new();
     let mut edge_seen: BTreeSet<(String, String, String, u32)> = BTreeSet::new();
 
-    for f in &fns {
+    for f in fns {
         let rel = files[f.file].rel;
         for s in &f.locks {
             let Some(from) = &s.name else {
@@ -200,7 +284,7 @@ pub fn analyze(files: &[FileGraphInput<'_>]) -> Vec<Finding> {
                     Rule::LockOrder,
                     "anon",
                     format!(
-                        "cannot attribute this `.lock()` to a named lock in `{}` — end the \
+                        "cannot attribute this acquisition to a named lock in `{}` — end the \
                          receiver chain in a field, variable or accessor fn, or waive with \
                          `allow(lock-order)`",
                         f.display
@@ -208,15 +292,23 @@ pub fn analyze(files: &[FileGraphInput<'_>]) -> Vec<Finding> {
                 );
                 continue;
             };
-            // Direct nested acquisitions inside the guard scope.
+            // Path-sensitive liveness: tokens reachable from the
+            // acquisition without passing a drop or leaving the scope.
+            // The textual clamp `t > s.tok` matters under loops: a back
+            // edge re-enters tokens *before* the acquisition, but those
+            // run in the next iteration, where this iteration's guard is
+            // already dead (RAII ends it at the binding block's close).
+            let live = f.cfg.reachable_after(s.tok, s.scope_end, &s.drops);
+            // Direct nested acquisitions on a live path.
             for s2 in &f.locks {
-                if s2.tok > s.tok && s2.tok < s.scope_end {
+                if s2.tok > s.tok && live.contains(s2.tok) {
                     if let Some(to) = &s2.name {
                         push_edge(
                             &mut edges,
                             &mut edge_seen,
                             Edge {
                                 from: from.clone(),
+                                from_mode: s.mode,
                                 to: to.clone(),
                                 file: rel.to_string(),
                                 line: s2.line,
@@ -227,10 +319,10 @@ pub fn analyze(files: &[FileGraphInput<'_>]) -> Vec<Finding> {
                     }
                 }
             }
-            // Acquisitions and blocking behind calls inside the scope.
+            // Acquisitions and blocking behind calls on a live path.
             let mut blocked_lines: BTreeSet<u32> = BTreeSet::new();
             for b in &f.blocking {
-                if b.tok > s.tok && b.tok < s.scope_end {
+                if b.tok > s.tok && live.contains(b.tok) {
                     blocked_lines.insert(b.line);
                     emit(
                         &mut findings,
@@ -240,16 +332,19 @@ pub fn analyze(files: &[FileGraphInput<'_>]) -> Vec<Finding> {
                         Rule::GuardBlocking,
                         &format!("{from}:{}", b.name),
                         format!(
-                            "`{}(..)` can block while the `{from}` guard (acquired line {}) is \
+                            "`{}(..)` can block while the `{from}` {} (acquired line {}) is \
                              live in `{}` — a blocked thread holds the lock; drop or scope the \
                              guard first",
-                            b.name, s.line, f.display
+                            b.name,
+                            s.mode.word(),
+                            s.line,
+                            f.display
                         ),
                     );
                 }
             }
             for c in &f.calls {
-                if c.tok <= s.tok || c.tok >= s.scope_end {
+                if c.tok <= s.tok || !live.contains(c.tok) {
                     continue;
                 }
                 for k in &c.callees {
@@ -260,11 +355,12 @@ pub fn analyze(files: &[FileGraphInput<'_>]) -> Vec<Finding> {
                                 &mut edge_seen,
                                 Edge {
                                     from: from.clone(),
+                                    from_mode: s.mode,
                                     to: to.clone(),
                                     file: rel.to_string(),
                                     line: c.line,
                                     holder: f.display.clone(),
-                                    note: format!(" via `{}` ({wit})", disp(&fns, &fn_index, k)),
+                                    note: format!(" via `{}` ({wit})", disp(fns, fn_index, k)),
                                 },
                             );
                         }
@@ -286,9 +382,10 @@ pub fn analyze(files: &[FileGraphInput<'_>]) -> Vec<Finding> {
                             &format!("{from}:{}", c.name),
                             format!(
                                 "`{}(..)` resolves to `{}` which may block ({wit}) while the \
-                                 `{from}` guard (acquired line {}) is live in `{}`",
+                                 `{from}` {} (acquired line {}) is live in `{}`",
                                 c.name,
-                                disp(&fns, &fn_index, k),
+                                disp(fns, fn_index, k),
+                                s.mode.word(),
                                 s.line,
                                 f.display
                             ),
@@ -300,11 +397,11 @@ pub fn analyze(files: &[FileGraphInput<'_>]) -> Vec<Finding> {
     }
 
     cycle_findings(&edges, &mut findings, &mut seen);
-    in_flight_findings(files, &fns, &mut findings, &mut seen);
+    in_flight_findings(files, fns, fn_index, &mut findings, &mut seen);
     findings
 }
 
-fn build_tables(files: &[FileGraphInput<'_>]) -> Tables {
+pub(crate) fn build_tables(files: &[FileGraphInput<'_>]) -> Tables {
     let mut t = Tables {
         by_qual: BTreeMap::new(),
         by_name: BTreeMap::new(),
@@ -337,28 +434,52 @@ fn build_tables(files: &[FileGraphInput<'_>]) -> Tables {
     t
 }
 
-/// Scans one function body for lock sites, resolved calls, blocking-name
-/// calls and balanced-counter touches.
-fn scan_fn(files: &[FileGraphInput<'_>], tables: &Tables, fi: usize, ii: usize) -> FnData {
+/// Scans one body region (a function or a lifted closure) for lock
+/// sites, resolved calls, blocking-name calls and balanced-counter
+/// touches; recurses into lifted closures as sub-functions wired to the
+/// enclosing region at their definition token.
+#[allow(clippy::too_many_arguments)]
+fn scan_region(
+    files: &[FileGraphInput<'_>],
+    tables: &Tables,
+    fi: usize,
+    owner: &Option<String>,
+    display: String,
+    body: (usize, usize),
+    key: Key,
+    next_sub: &mut usize,
+    out: &mut Vec<FnData>,
+) {
     let file = &files[fi];
-    let item = &file.items.fns[ii];
-    let (start, end) = item.body.unwrap_or((0, 0));
-    let end = end.min(file.tokens.len());
     let toks = file.tokens;
+    let (start, end) = body;
+    let graph = cfg::build(toks, body);
+
+    // Lifted sub-regions (closures and nested `fn`s) leave this region's
+    // token walk entirely.
+    let mut skip: Vec<(usize, usize)> = graph.lifted.iter().map(|l| l.body).collect();
+    skip.sort_unstable();
+
     let mut data = FnData {
-        key: (fi, ii),
+        key,
         file: fi,
-        display: item.display(),
-        body: (start, end),
+        display: display.clone(),
+        body,
+        cfg: graph,
         locks: Vec::new(),
         calls: Vec::new(),
         blocking: Vec::new(),
         adds: Vec::new(),
         subs: Vec::new(),
+        vis: Vec::new(),
     };
 
     let mut i = start;
     while i < end {
+        if let Some(&(_, le)) = skip.iter().find(|&&(ls, le)| i >= ls && i < le) {
+            i = le;
+            continue;
+        }
         let Some(name) = ident(toks, i) else {
             i += 1;
             continue;
@@ -380,18 +501,38 @@ fn scan_fn(files: &[FileGraphInput<'_>], tables: &Tables, fi: usize, ii: usize) 
             continue;
         }
 
-        // `.lock()` — an acquisition site with a guard scope.
-        if name == "lock" && punct(toks, i.wrapping_sub(1)) == Some(".") && i >= 1 {
-            let lock_name = receiver_name(toks, i);
-            let scope_end = guard_scope_end(toks, start, end, i);
-            data.locks.push(LockSite {
-                name: lock_name,
-                tok: i,
-                line,
-                scope_end,
-            });
-            i += 1;
-            continue;
+        // Guard acquisitions: `.lock()`, and the `RwLock` constructors
+        // — zero-argument `.read()` / `.write()` (the I/O forms always
+        // carry a buffer argument).
+        let acq = if name == "lock" {
+            Some(GuardMode::Mutex)
+        } else if (name == "read" || name == "write")
+            && punct(toks, i + 1) == Some("(")
+            && punct(toks, i + 2) == Some(")")
+        {
+            Some(if name == "read" {
+                GuardMode::Read
+            } else {
+                GuardMode::Write
+            })
+        } else {
+            None
+        };
+        if let Some(mode) = acq {
+            if punct(toks, i.wrapping_sub(1)) == Some(".") && i >= 1 {
+                let lock_name = receiver_name(toks, i);
+                let scope = guard_scope(toks, start, end, i);
+                data.locks.push(LockSite {
+                    name: lock_name,
+                    mode,
+                    tok: i,
+                    line,
+                    scope_end: scope.end,
+                    drops: scope.drops,
+                });
+                i += 1;
+                continue;
+            }
         }
 
         // Balanced-counter touches.
@@ -424,6 +565,14 @@ fn scan_fn(files: &[FileGraphInput<'_>], tables: &Tables, fi: usize, ii: usize) 
                 name: name.to_string(),
             });
         }
+        if VISIBILITY_CALLS.contains(&name) && punct(toks, i.wrapping_sub(1)) == Some(".") && i >= 1
+        {
+            data.vis.push(VisSite {
+                tok: i,
+                line,
+                name: name.to_string(),
+            });
+        }
 
         // Workspace resolution, mirroring the call-graph pass.
         let prev = punct(toks, i.wrapping_sub(1));
@@ -433,7 +582,7 @@ fn scan_fn(files: &[FileGraphInput<'_>], tables: &Tables, fi: usize, ii: usize) 
                 if !self_recv && CLEAN_METHODS.binary_search(&name).is_ok() {
                     Vec::new()
                 } else if self_recv {
-                    item.owner
+                    owner
                         .as_ref()
                         .and_then(|o| tables.by_qual.get(&(o.clone(), name.to_string())))
                         .or_else(|| tables.by_name.get(name))
@@ -444,8 +593,7 @@ fn scan_fn(files: &[FileGraphInput<'_>], tables: &Tables, fi: usize, ii: usize) 
                 }
             }
             Some("::") if i >= 2 => match ident(toks, i - 2) {
-                Some("Self") => item
-                    .owner
+                Some("Self") => owner
                     .as_ref()
                     .and_then(|o| tables.by_qual.get(&(o.clone(), name.to_string())))
                     .cloned()
@@ -469,20 +617,79 @@ fn scan_fn(files: &[FileGraphInput<'_>], tables: &Tables, fi: usize, ii: usize) 
         }
         i += 1;
     }
-    data
+
+    // Lifted closures become callable sub-functions, wired to this
+    // region at their definition token; nested `fn`s are real items the
+    // outer loop scans on its own, so they only leave the token walk.
+    let lifted: Vec<(usize, u32, (usize, usize), bool)> = data
+        .cfg
+        .lifted
+        .iter()
+        .map(|l| (l.tok, l.line, l.body, l.is_closure))
+        .collect();
+    for (tok, line, lbody, is_closure) in lifted {
+        if !is_closure {
+            continue;
+        }
+        let sub_key = (fi, *next_sub);
+        *next_sub += 1;
+        data.calls.push(CallSite {
+            tok,
+            line,
+            name: format!("{{closure@{line}}}"),
+            callees: vec![sub_key],
+        });
+        scan_region(
+            files,
+            tables,
+            fi,
+            owner,
+            format!("{display}::{{closure@{line}}}"),
+            lbody,
+            sub_key,
+            next_sub,
+            out,
+        );
+    }
+    out.push(data);
 }
 
 /// The last named identifier of the receiver chain ending at the `.`
 /// before token `i`: `self.failures.lock` → `failures`,
-/// `exclusivity().lock` → `exclusivity`, `locks[i].lock` → `locks`.
-fn receiver_name(toks: &[Token], i: usize) -> Option<String> {
+/// `self.links[i].queue.lock` → `queue`, `exclusivity().lock` →
+/// `exclusivity`, `locks[i].lock` → `locks`. `?` and `await` hops in
+/// the chain are skipped.
+pub(crate) fn receiver_name(toks: &[Token], i: usize) -> Option<String> {
+    receiver_ident(toks, i).and_then(|j| match &toks[j].kind {
+        TokenKind::Ident(s) => Some(s.clone()),
+        _ => None,
+    })
+}
+
+/// Like [`receiver_name`], but returns the token *index* of the naming
+/// identifier — callers that must keep walking the chain (the growth
+/// rule's adapter skipping) restart from it.
+pub(crate) fn receiver_ident(toks: &[Token], i: usize) -> Option<usize> {
     if i < 2 {
         return None;
     }
     let mut j = i - 2; // the token before the `.`
     loop {
         match toks.get(j).map(|t| &t.kind) {
-            Some(TokenKind::Ident(s)) => return Some(s.clone()),
+            Some(TokenKind::Ident(s)) if s == "await" => {
+                // `x.fut().await.lock()` — keep walking the chain.
+                if j < 2 || punct(toks, j - 1) != Some(".") {
+                    return None;
+                }
+                j -= 2;
+            }
+            Some(TokenKind::Ident(_)) => return Some(j),
+            Some(TokenKind::Punct(p)) if p == "?" => {
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
             Some(TokenKind::Punct(p)) if p == ")" || p == "]" => {
                 let (open, close) = if p == ")" { ("(", ")") } else { ("[", "]") };
                 let mut depth = 0i32;
@@ -513,12 +720,17 @@ fn receiver_name(toks: &[Token], i: usize) -> Option<String> {
     }
 }
 
-/// Where the guard born at the `.lock()` at token `i` dies (exclusive).
-///
-/// A simple `let [mut] name = ..` binding is live to `drop(name)` or the
-/// enclosing block close; anything else (temporaries, pattern bindings,
-/// `let _`) is live to the end of its statement.
-fn guard_scope_end(toks: &[Token], body_start: usize, body_end: usize, i: usize) -> usize {
+/// The textual bounds of the guard born at the acquisition at token `i`.
+struct GuardScope {
+    /// Hard bound (exclusive): binding block close, or statement end
+    /// for temporaries.
+    end: usize,
+    /// Every `drop(var)` position inside the bound — path-sensitive
+    /// kills for [`Cfg::reachable_after`].
+    drops: Vec<usize>,
+}
+
+fn guard_scope(toks: &[Token], body_start: usize, body_end: usize, i: usize) -> GuardScope {
     // Walk back to the start of the enclosing statement.
     let mut depth = 0i32;
     let mut j = i;
@@ -569,16 +781,19 @@ fn guard_scope_end(toks: &[Token], body_start: usize, body_end: usize, i: usize)
 
     let mut depth = 0i32;
     let mut j = i;
+    let mut drops = Vec::new();
     while j < body_end {
         match punct(toks, j) {
             Some("(") | Some("[") | Some("{") => depth += 1,
             Some(")") | Some("]") | Some("}") => {
                 depth -= 1;
                 if depth < 0 {
-                    return j;
+                    return GuardScope { end: j, drops };
                 }
             }
-            Some(";") | Some(",") if depth == 0 && bound_var.is_none() => return j,
+            Some(";") | Some(",") if depth == 0 && bound_var.is_none() => {
+                return GuardScope { end: j, drops }
+            }
             _ => {}
         }
         if let Some(var) = &bound_var {
@@ -587,36 +802,20 @@ fn guard_scope_end(toks: &[Token], body_start: usize, body_end: usize, i: usize)
                 && ident(toks, j + 2) == Some(var)
                 && punct(toks, j + 3) == Some(")")
             {
-                return j;
+                drops.push(j);
             }
         }
         j += 1;
     }
-    body_end
-}
-
-/// End of the innermost block enclosing token `i` (exclusive).
-fn brace_scope_end(toks: &[Token], i: usize, body_end: usize) -> usize {
-    let mut depth = 0i32;
-    let mut j = i;
-    while j < body_end {
-        match punct(toks, j) {
-            Some("(") | Some("[") | Some("{") => depth += 1,
-            Some(")") | Some("]") | Some("}") => {
-                depth -= 1;
-                if depth < 0 {
-                    return j;
-                }
-            }
-            _ => {}
-        }
-        j += 1;
+    GuardScope {
+        end: body_end,
+        drops,
     }
-    body_end
 }
 
 /// Functions that may block, with a witness: seeded by direct
-/// blocking-name calls, propagated over resolved call edges.
+/// blocking-name calls, propagated over resolved call edges (closure
+/// sub-functions included).
 fn may_block_fixpoint(
     files: &[FileGraphInput<'_>],
     fns: &[FnData],
@@ -676,7 +875,14 @@ fn acquires_fixpoint(
                     .entry(f.key)
                     .or_default()
                     .entry(n.clone())
-                    .or_insert_with(|| format!("locks `{n}` at {}:{}", files[f.file].rel, s.line));
+                    .or_insert_with(|| {
+                        format!(
+                            "takes the `{n}` {} at {}:{}",
+                            s.mode.word(),
+                            files[f.file].rel,
+                            s.line
+                        )
+                    });
             }
         }
     }
@@ -745,9 +951,12 @@ fn cycle_findings(
                 Rule::LockOrder,
                 &format!("cycle:{}:{}", e.from, e.to),
                 format!(
-                    "re-entrant acquisition: `{}` is locked again while already held in \
-                     `{}`{} — self-deadlock",
-                    e.to, e.holder, e.note
+                    "re-entrant acquisition: `{}` is taken again while its {} is already held \
+                     in `{}`{} — self-deadlock",
+                    e.to,
+                    e.from_mode.word(),
+                    e.holder,
+                    e.note
                 ),
             );
             continue;
@@ -756,8 +965,12 @@ fn cycle_findings(
             continue;
         };
         let mut msg = format!(
-            "lock-order cycle: `{}` may be acquired while `{}` is held in `{}`{}",
-            e.to, e.from, e.holder, e.note
+            "lock-order cycle: `{}` may be acquired while the `{}` {} is held in `{}`{}",
+            e.to,
+            e.from,
+            e.from_mode.word(),
+            e.holder,
+            e.note
         );
         for &pi in &path {
             let pe = &edges[pi];
@@ -821,14 +1034,59 @@ fn find_path(
 /// in the tree, for the pairing check.
 type CounterTotals = BTreeMap<String, (Vec<(String, u32)>, Vec<(String, u32)>)>;
 
-/// The three `in-flight-balance` checks: early-exit leaks, visibility
-/// ordering, and tree-wide add/sub pairing.
+/// Counters each function (transitively) decrements — a call to such a
+/// function credits a path, and a closure containing a `fetch_sub` is
+/// credited at its definition site through its synthetic call edge.
+fn subs_fixpoint(fns: &[FnData]) -> BTreeMap<Key, BTreeSet<String>> {
+    let mut subs_of: BTreeMap<Key, BTreeSet<String>> = BTreeMap::new();
+    for f in fns {
+        for s in &f.subs {
+            subs_of.entry(f.key).or_default().insert(s.counter.clone());
+        }
+    }
+    loop {
+        let mut changed = false;
+        for f in fns {
+            for c in &f.calls {
+                for k in &c.callees {
+                    if *k == f.key {
+                        continue;
+                    }
+                    let fresh: Vec<String> = match subs_of.get(k) {
+                        Some(cs) => cs
+                            .iter()
+                            .filter(|n| subs_of.get(&f.key).is_none_or(|m| !m.contains(n.as_str())))
+                            .cloned()
+                            .collect(),
+                        None => continue,
+                    };
+                    if !fresh.is_empty() {
+                        let m = subs_of.entry(f.key).or_default();
+                        for n in fresh {
+                            m.insert(n);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    subs_of
+}
+
+/// The three `in-flight-balance` checks: all-paths leak proofs with
+/// witness paths, visibility ordering, and tree-wide add/sub pairing.
 fn in_flight_findings(
     files: &[FileGraphInput<'_>],
     fns: &[FnData],
+    fn_index: &BTreeMap<Key, usize>,
     findings: &mut Vec<Finding>,
     seen: &mut BTreeSet<(String, u32, Rule, String)>,
 ) {
+    let subs_of = subs_fixpoint(fns);
     let mut totals: CounterTotals = BTreeMap::new();
     for f in fns {
         let rel = files[f.file].rel;
@@ -839,38 +1097,44 @@ fn in_flight_findings(
                 .or_default()
                 .0
                 .push((rel.to_string(), a.line));
-            let end = brace_scope_end(toks, a.tok, f.body.1);
-            let mut j = a.tok + 1;
-            while j < end {
-                let exit = match &toks[j].kind {
-                    TokenKind::Ident(s) => s == "return",
-                    TokenKind::Punct(p) => p == "?",
-                    _ => false,
-                };
-                if exit {
-                    let balanced = f
-                        .subs
-                        .iter()
-                        .any(|s| s.counter == a.counter && s.tok > a.tok && s.tok < j);
-                    if !balanced {
-                        emit(
-                            findings,
-                            seen,
-                            rel,
-                            toks[j].line,
-                            Rule::InFlightBalance,
-                            &format!("leak:{}", a.counter),
-                            format!(
-                                "`{}.fetch_add` (line {}) escapes through this early exit \
-                                 without a matching `fetch_sub` in `{}` — the in-flight count \
-                                 leaks and quiescence never observes zero",
-                                a.counter, a.line, f.display
-                            ),
-                        );
-                        break;
-                    }
+            // Credits: a direct `fetch_sub` on the same counter, or a
+            // call (including a lifted closure at its definition site)
+            // that transitively decrements it.
+            let mut credits: BTreeSet<usize> = f
+                .subs
+                .iter()
+                .filter(|s| s.counter == a.counter)
+                .map(|s| s.tok)
+                .collect();
+            for c in &f.calls {
+                if c.callees
+                    .iter()
+                    .any(|k| subs_of.get(k).is_some_and(|cs| cs.contains(&a.counter)))
+                {
+                    credits.insert(c.tok);
                 }
-                j += 1;
+            }
+            if let Some(w) = f.cfg.uncredited_exit(toks, a.tok, &credits) {
+                let path = w
+                    .path_lines
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" → ");
+                emit(
+                    findings,
+                    seen,
+                    rel,
+                    w.exit_line,
+                    Rule::InFlightBalance,
+                    &format!("leak:{}", a.counter),
+                    format!(
+                        "`{}.fetch_add` (line {}) can escape through the `{}` early exit on \
+                         line {} without a matching `fetch_sub` in `{}` — witness path: lines \
+                         {path} — the in-flight count leaks and quiescence never observes zero",
+                        a.counter, a.line, w.exit_kind, w.exit_line, f.display
+                    ),
+                );
             }
         }
         for s in &f.subs {
@@ -880,38 +1144,37 @@ fn in_flight_findings(
                 .1
                 .push((rel.to_string(), s.line));
         }
-        // Increment-before-visibility: nothing may publish the event
-        // before the first add of this function.
+        // Increment-before-visibility: nothing may publish the event on
+        // a path that later reaches the first add of this function. The
+        // textual `v.tok < first.tok` guard keeps loop back edges from
+        // pairing iteration N's publish with iteration N+1's increment.
         if let Some(first) = f.adds.first() {
-            let mut j = f.body.0;
-            while j < first.tok {
-                if let Some(n) = ident(toks, j) {
-                    if VISIBILITY_CALLS.contains(&n)
-                        && j >= 1
-                        && punct(toks, j - 1) == Some(".")
-                        && is_call(toks, j, f.body.1)
-                    {
-                        emit(
-                            findings,
-                            seen,
-                            rel,
-                            first.line,
-                            Rule::InFlightBalance,
-                            &format!("vis:{}", first.counter),
-                            format!(
-                                "`{}.fetch_add` happens after `{n}(..)` on line {} in `{}` — \
-                                 increment before making the event visible, or a racing \
-                                 quiescence check can observe zero while work is in flight",
-                                first.counter, toks[j].line, f.display
-                            ),
-                        );
-                        break;
-                    }
+            for v in &f.vis {
+                if v.tok >= first.tok {
+                    continue;
                 }
-                j += 1;
+                let after_vis = f.cfg.reachable_after(v.tok, usize::MAX, &[]);
+                if after_vis.contains(first.tok) {
+                    emit(
+                        findings,
+                        seen,
+                        rel,
+                        first.line,
+                        Rule::InFlightBalance,
+                        &format!("vis:{}", first.counter),
+                        format!(
+                            "`{}.fetch_add` happens after `{}(..)` on line {} in `{}` — \
+                             increment before making the event visible, or a racing \
+                             quiescence check can observe zero while work is in flight",
+                            first.counter, v.name, v.line, f.display
+                        ),
+                    );
+                    break;
+                }
             }
         }
     }
+    let _ = fn_index;
     for (counter, (adds, subs)) in &totals {
         if !adds.is_empty() && subs.is_empty() {
             let (file, line) = &adds[0];
@@ -1002,6 +1265,8 @@ mod tests {
     #[test]
     fn blocking_calls_is_sorted_for_binary_search() {
         assert!(BLOCKING_CALLS.windows(2).all(|w| w[0] < w[1]));
+        assert!(!BLOCKING_CALLS.contains(&"read"));
+        assert!(!BLOCKING_CALLS.contains(&"write"));
     }
 
     #[test]
@@ -1053,6 +1318,46 @@ mod tests {
     }
 
     #[test]
+    fn rwlock_read_and_write_guards_are_acquisitions() {
+        // Opposite orders through RwLock guards form a cycle, and the
+        // messages carry the reader/writer mode.
+        let src = "struct P { a: RwLock<u32>, b: RwLock<u32> }\n\
+             impl P {\n\
+             fn fwd(&self) { let g = self.a.read().unwrap_or_else(|e| e.into_inner()); \
+             let h = self.b.write().unwrap_or_else(|e| e.into_inner()); let _ = (g, h); }\n\
+             fn bwd(&self) { let g = self.b.read().unwrap_or_else(|e| e.into_inner()); \
+             let h = self.a.write().unwrap_or_else(|e| e.into_inner()); let _ = (g, h); }\n\
+             }";
+        let f = analyze_src(src);
+        let cycles: Vec<_> = f.iter().filter(|x| x.rule == Rule::LockOrder).collect();
+        assert_eq!(cycles.len(), 2, "{f:?}");
+        assert!(cycles[0].message.contains("read guard"), "{f:?}");
+    }
+
+    #[test]
+    fn io_read_with_arguments_is_not_an_acquisition() {
+        // `stream.read(&mut buf)` takes a buffer — it must not be
+        // mistaken for an RwLock guard (and is no longer classified as
+        // a blocking name either; `read_exact` et al. still are).
+        let src = "fn pump(stream: &mut TcpStream, buf: &mut [u8]) -> usize {\n\
+             stream.read(buf).unwrap_or(0)\n\
+             }";
+        assert!(analyze_src(src).is_empty());
+    }
+
+    #[test]
+    fn rwlock_write_guard_across_blocking_is_flagged() {
+        let src = "fn publish(state: &RwLock<Vec<u32>>, tx: &Sender<u32>, v: u32) {\n\
+             let mut g = state.write().unwrap_or_else(|e| e.into_inner());\n\
+             g.push(v);\n\
+             let _ = tx.send(v);\n\
+             }";
+        let f = analyze_src(src);
+        assert_eq!(rules_of(&f), vec![Rule::GuardBlocking], "{f:?}");
+        assert!(f[0].message.contains("write guard"), "{f:?}");
+    }
+
+    #[test]
     fn guard_across_send_is_flagged_and_drop_releases() {
         let held = "fn publish(log: &Mutex<Vec<u32>>, tx: &Sender<u32>, v: u32) {\n\
              let mut held = log.lock().unwrap_or_else(|e| e.into_inner());\n\
@@ -1070,6 +1375,22 @@ mod tests {
              let _ = tx.send(v);\n\
              }";
         assert!(analyze_src(dropped).is_empty());
+    }
+
+    #[test]
+    fn guard_dropped_in_one_match_arm_stays_live_in_siblings() {
+        // Path-sensitivity both ways: the arm that dropped the guard may
+        // block freely; the sibling arm that still holds it may not.
+        let src = "fn route(log: &Mutex<Vec<u32>>, tx: &Sender<u32>, v: u32) {\n\
+             let g = log.lock().unwrap_or_else(|e| e.into_inner());\n\
+             match v {\n\
+             0 => { drop(g); let _ = tx.send(v); }\n\
+             _ => { let _ = tx.send(v + 1); }\n\
+             }\n\
+             }";
+        let f = analyze_src(src);
+        assert_eq!(rules_of(&f), vec![Rule::GuardBlocking], "{f:?}");
+        assert_eq!(f[0].line, 5, "only the still-holding sibling arm: {f:?}");
     }
 
     #[test]
@@ -1113,6 +1434,20 @@ mod tests {
     }
 
     #[test]
+    fn blocking_inside_a_closure_is_charged_to_the_holder() {
+        // The closure body is lifted, but its synthetic call edge at the
+        // definition site keeps the transitive blocking charge.
+        let src = "fn outer(log: &Mutex<u32>, xs: Vec<u32>) {\n\
+             let g = log.lock().unwrap_or_else(|e| e.into_inner());\n\
+             xs.iter().for_each(|x| { std::thread::sleep(d(*x)); });\n\
+             let _ = g;\n\
+             }";
+        let f = analyze_src(src);
+        assert_eq!(rules_of(&f), vec![Rule::GuardBlocking], "{f:?}");
+        assert!(f[0].message.contains("closure"), "{f:?}");
+    }
+
+    #[test]
     fn unattributable_lock_is_reported() {
         let src = "fn odd(pair: (Mutex<u32>, u32)) { let g = (pair.0).lock(); let _ = g; }";
         let f = analyze_src(src);
@@ -1121,6 +1456,94 @@ mod tests {
                 .any(|x| x.rule == Rule::LockOrder && x.message.contains("cannot attribute")),
             "{f:?}"
         );
+    }
+
+    #[test]
+    fn receiver_names_survive_index_and_call_chains() {
+        let name = |src: &str| {
+            let scan = lex::scan(src);
+            let i = scan
+                .tokens
+                .iter()
+                .position(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "lock"))
+                .unwrap();
+            receiver_name(&scan.tokens, i)
+        };
+        assert_eq!(
+            name("fn f(&self) { self.links[i].queue.lock(); }"),
+            Some("queue".to_string())
+        );
+        assert_eq!(
+            name("fn f(&self) { self.links[idx(i)].lock(); }"),
+            Some("links".to_string())
+        );
+        assert_eq!(
+            name("fn f(&self) { self.link(i).lock(); }"),
+            Some("link".to_string())
+        );
+        assert_eq!(
+            name("fn f(&self) { self.link(i)?.queue.lock(); }"),
+            Some("queue".to_string()),
+            "`?` hops in the chain are skipped"
+        );
+        assert_eq!(
+            name("fn f(&self) { self.get(i)?.lock(); }"),
+            Some("get".to_string())
+        );
+        assert_eq!(name("fn f() { (pair.0).lock(); }"), None);
+    }
+
+    #[test]
+    fn a_lock_reacquired_across_loop_iterations_is_not_reentrant() {
+        // The guard dies at the iteration's end; the back edge must not
+        // mark the acquisition site as live-while-held.
+        let src = "fn pump(q: &Mutex<Vec<u32>>) {\n\
+             loop {\n\
+             let mut g = q.lock().unwrap_or_else(|e| e.into_inner());\n\
+             if g.pop().is_none() { break; }\n\
+             }\n\
+             }";
+        assert!(analyze_src(src).is_empty(), "{:?}", analyze_src(src));
+    }
+
+    #[test]
+    fn a_temporary_guard_in_a_for_head_is_held_for_the_body_only() {
+        // `for e in x.lock().iter()` holds the guard across the whole
+        // loop body (temporary lifetime), but the back edge must not
+        // turn the single acquisition into a re-entrant one — and a
+        // blocking call in the body is still flagged.
+        let clean = "fn collect(log: &Mutex<Vec<u32>>, out: &mut Vec<u32>) {\n\
+             for e in log.lock().unwrap_or_else(|x| x.into_inner()).iter() {\n\
+             out.push(*e);\n\
+             }\n\
+             }";
+        assert!(analyze_src(clean).is_empty(), "{:?}", analyze_src(clean));
+
+        let held = "fn relay(log: &Mutex<Vec<u32>>, tx: &Sender<u32>) {\n\
+             for e in log.lock().unwrap_or_else(|x| x.into_inner()).iter() {\n\
+             let _ = tx.send(*e);\n\
+             }\n\
+             }";
+        let f = analyze_src(held);
+        assert_eq!(rules_of(&f), vec![Rule::GuardBlocking], "{f:?}");
+    }
+
+    #[test]
+    fn branch_dependent_leak_is_caught_with_a_witness_path() {
+        // v3's textual scan saw a `fetch_sub` token *before* the second
+        // `return` and called this balanced; only a path proof sees the
+        // uncredited arm.
+        let src = "fn send_event(in_flight: &AtomicI64, x: u8) -> Result<(), ()> {\n\
+             in_flight.fetch_add(1, Ordering::SeqCst);\n\
+             match x {\n\
+             0 => { in_flight.fetch_sub(1, Ordering::SeqCst); return Err(()); }\n\
+             _ => return Err(()),\n\
+             }\n\
+             }";
+        let f = analyze_src(src);
+        assert_eq!(rules_of(&f), vec![Rule::InFlightBalance], "{f:?}");
+        assert_eq!(f[0].line, 5, "{f:?}");
+        assert!(f[0].message.contains("witness path"), "{f:?}");
     }
 
     #[test]
@@ -1149,6 +1572,46 @@ mod tests {
     }
 
     #[test]
+    fn closure_hidden_fetch_sub_is_credited() {
+        // The decrement lives behind a closure boundary; the lifted
+        // sub-function's summary credits the definition site.
+        let src = "fn send_event(in_flight: &AtomicI64, ready: bool) -> Result<(), ()> {\n\
+             in_flight.fetch_add(1, Ordering::SeqCst);\n\
+             if !ready {\n\
+             let undo = || { in_flight.fetch_sub(1, Ordering::SeqCst); };\n\
+             undo();\n\
+             return Err(());\n\
+             }\n\
+             Ok(())\n\
+             }";
+        assert!(analyze_src(src).is_empty(), "{:?}", analyze_src(src));
+    }
+
+    #[test]
+    fn decrement_behind_a_named_call_is_credited() {
+        let src = "fn send_event(in_flight: &AtomicI64, ready: bool) -> Result<(), ()> {\n\
+             in_flight.fetch_add(1, Ordering::SeqCst);\n\
+             if !ready { undo(in_flight); return Err(()); }\n\
+             Ok(())\n\
+             }\n\
+             fn undo(in_flight: &AtomicI64) { in_flight.fetch_sub(1, Ordering::SeqCst); }";
+        assert!(analyze_src(src).is_empty(), "{:?}", analyze_src(src));
+    }
+
+    #[test]
+    fn try_exit_after_fetch_add_leaks() {
+        let src = "fn send_event(in_flight: &AtomicI64) -> Result<(), ()> {\n\
+             in_flight.fetch_add(1, Ordering::SeqCst);\n\
+             publish()?;\n\
+             in_flight.fetch_sub(1, Ordering::SeqCst);\n\
+             Ok(())\n\
+             }";
+        let f = analyze_src(src);
+        assert_eq!(rules_of(&f), vec![Rule::InFlightBalance], "{f:?}");
+        assert!(f[0].message.contains("`?` early exit"), "{f:?}");
+    }
+
+    #[test]
     fn visibility_before_increment_is_flagged() {
         let src = "fn send_event(in_flight: &AtomicI64, tx: &Sender<u32>) {\n\
              let _ = tx.send(7);\n\
@@ -1161,6 +1624,17 @@ mod tests {
             f[0].message.contains("before making the event visible"),
             "{f:?}"
         );
+    }
+
+    #[test]
+    fn visibility_in_a_sibling_branch_is_not_before() {
+        // v3 compared token positions; a send in the *other* branch is
+        // not on any path to the increment.
+        let src = "fn send_event(in_flight: &AtomicI64, tx: &Sender<u32>, x: bool) {\n\
+             if x { let _ = tx.send(7); } else { in_flight.fetch_add(1, Ordering::SeqCst); }\n\
+             }\n\
+             fn other(in_flight: &AtomicI64) { in_flight.fetch_sub(1, Ordering::SeqCst); }";
+        assert!(analyze_src(src).is_empty(), "{:?}", analyze_src(src));
     }
 
     #[test]

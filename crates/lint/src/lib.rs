@@ -16,11 +16,17 @@
 //!   configured [`callgraph::HOT_PATH_ROOTS`]) are roots, every workspace
 //!   function reachable from them is scanned, and calls the resolver
 //!   cannot follow surface as `hot-path-opaque-call` findings;
-//! - **concurrency & protocol discipline** — [`concurrency`] proves the
-//!   may-hold-while-acquiring lock graph acyclic (`lock-order`), flags
-//!   guards held across blocking calls (`guard-across-blocking`) and
-//!   checks the `in_flight` quiescence counter's add/sub balance
-//!   (`in-flight-balance`); [`protocol`] cross-checks every wire enum
+//! - **concurrency & protocol discipline** — [`concurrency`] builds an
+//!   intra-procedural CFG ([`mod@cfg`]) per function and proves the
+//!   may-hold-while-acquiring lock graph acyclic (`lock-order`,
+//!   `RwLock` read/write guards included), flags guards live across
+//!   blocking calls on any path (`guard-across-blocking`) and proves
+//!   the `in_flight` quiescence counter balanced on every path
+//!   (`in-flight-balance`, with witness paths); [`atomics`] checks the
+//!   reactor's ordering protocols (`atomic-protocol`: Relaxed gates
+//!   need a confirming RMW, flags are set before kicks); [`growth`]
+//!   flags loop-fed struct fields nothing ever drains
+//!   (`unbounded-growth`); [`protocol`] cross-checks every wire enum
 //!   variant against its four mandatory homes — encode, decode,
 //!   `wire_bytes` accounting and engine handling (`wire-exhaustive`).
 //!
@@ -34,8 +40,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomics;
 pub mod callgraph;
+pub mod cfg;
 pub mod concurrency;
+pub mod growth;
 pub mod lex;
 pub mod parse;
 pub mod protocol;
@@ -182,7 +191,11 @@ pub fn lint_tree_report(root: &Path, mode: Mode) -> io::Result<Report> {
         })
         .collect();
     let mut hot = callgraph::analyze(&inputs, mode == Mode::Workspace);
-    hot.extend(concurrency::analyze(&inputs));
+    let model = concurrency::build_model(&inputs);
+    hot.extend(concurrency::analyze_model(&model, &inputs));
+    hot.extend(atomics::analyze_model(&model, &inputs));
+    hot.extend(growth::analyze_model(&model, &inputs));
+    drop(model);
     hot.extend(protocol::analyze(&inputs, mode == Mode::Workspace));
     drop(inputs);
     let mut unattached: Vec<Finding> = Vec::new();

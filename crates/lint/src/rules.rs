@@ -50,13 +50,22 @@ pub enum Rule {
     /// its four mandatory homes: encode arm, decode arm, `wire_bytes`
     /// accounting arm, engine handling arm ([`crate::protocol`]).
     WireExhaustive,
+    /// An `Ordering::Relaxed` load used as the sole gate before a side
+    /// effect without an Acquire-or-stronger RMW confirming it on every
+    /// path, or a thread kick (`unpark`) not preceded by a strong flag
+    /// write ([`crate::atomics`]).
+    AtomicProtocol,
+    /// A long-lived `self` field pushed/extended on a loop-reachable
+    /// path with no drain/clear/truncate/bound for it anywhere in the
+    /// tree ([`crate::growth`]).
+    UnboundedGrowth,
     /// A malformed or unused `dsj-lint: allow(..)` pragma. Cannot itself
     /// be waived.
     Pragma,
 }
 
 /// All waivable rules, in reporting order.
-pub const RULES: [Rule; 14] = [
+pub const RULES: [Rule; 16] = [
     Rule::Panic,
     Rule::HashIter,
     Rule::WallClock,
@@ -71,6 +80,8 @@ pub const RULES: [Rule; 14] = [
     Rule::GuardBlocking,
     Rule::InFlightBalance,
     Rule::WireExhaustive,
+    Rule::AtomicProtocol,
+    Rule::UnboundedGrowth,
 ];
 
 impl Rule {
@@ -91,6 +102,8 @@ impl Rule {
             Rule::GuardBlocking => "guard-across-blocking",
             Rule::InFlightBalance => "in-flight-balance",
             Rule::WireExhaustive => "wire-exhaustive",
+            Rule::AtomicProtocol => "atomic-protocol",
+            Rule::UnboundedGrowth => "unbounded-growth",
             Rule::Pragma => "pragma",
         }
     }
@@ -121,6 +134,8 @@ impl Rule {
                     | Rule::GuardBlocking
                     | Rule::InFlightBalance
                     | Rule::WireExhaustive
+                    | Rule::AtomicProtocol
+                    | Rule::UnboundedGrowth
             )
     }
 }

@@ -160,9 +160,14 @@ fn the_original_waivers_are_still_alive_and_audited() {
     // live transports' wall-clock reads; the batched frame loop added the
     // summary-application boundary in `NodeEngine::on_frame`) + the
     // reactor's 2 guard-across-blocking escapes (nonblocking sockets:
-    // `write` returns `WouldBlock` instead of blocking, and the guard is
-    // what serializes writer-vs-reactor access to the queue).
-    assert_eq!(report.waivers.len(), 21, "{:#?}", report.waivers);
+    // `write_vectored` returns `WouldBlock` instead of blocking, and the
+    // guard is what serializes writer-vs-reactor access to the queue;
+    // re-audited against the CFG-based v4 pass, which now attributes the
+    // block through `WriteQueue::write_coalesced` transitively) + the
+    // CFG builder's 1 unbounded-growth escape (`Builder::loop_bodies`
+    // is per-build() metadata, not a runtime queue — the long-lived
+    // heuristic cannot see the builder's lifetime).
+    assert_eq!(report.waivers.len(), 22, "{:#?}", report.waivers);
     assert!(
         report.waivers.iter().all(|w| w.hits > 0),
         "{:#?}",

@@ -273,7 +273,7 @@ impl OutLink {
         }
         let stream = Arc::clone(&state.stream);
         let (bytes, ends) = (batch.bytes(), batch.frame_ends());
-        // dsj-lint: allow(guard-across-blocking) — the socket is nonblocking; write returns WouldBlock instead of blocking, and the guard serializes writer-vs-reactor access to the queue
+        // dsj-lint: allow(guard-across-blocking) — the socket is nonblocking; write_vectored returns WouldBlock instead of blocking, and the guard serializes writer-vs-reactor access to the queue
         let result = state.queue.write_coalesced(&mut (&*stream), bytes, ends);
         self.settle(state, result)
     }
@@ -290,7 +290,7 @@ impl OutLink {
             return LinkWrite::Clean;
         }
         let stream = Arc::clone(&state.stream);
-        // dsj-lint: allow(guard-across-blocking) — the socket is nonblocking; write returns WouldBlock instead of blocking, and the guard serializes writer-vs-reactor access to the queue
+        // dsj-lint: allow(guard-across-blocking) — the socket is nonblocking; write_vectored returns WouldBlock instead of blocking, and the guard serializes writer-vs-reactor access to the queue
         let result = state.queue.write_coalesced(&mut (&*stream), &[], &[]);
         self.settle(state, result)
     }

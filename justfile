@@ -13,7 +13,7 @@ clippy:
 
 # Repo-specific static analysis (determinism, panic-safety, hygiene,
 # transitive hot-path discipline, lock order, in-flight balance, wire
-# exhaustiveness).
+# exhaustiveness, atomics protocol, unbounded growth).
 lint:
     cargo run --release -p dsj-lint
 
@@ -29,6 +29,11 @@ lint-waivers:
 # threading/wire changes).
 lint-concurrency:
     cargo run --release -p dsj-lint -- --only lock-order,guard-across-blocking,in-flight-balance,wire-exhaustive
+
+# Only the v4 CFG-based families (fast iteration on atomic orderings and
+# queue-bounding changes).
+lint-cfg:
+    cargo run --release -p dsj-lint -- --only atomic-protocol,unbounded-growth
 
 # Diff the tree against the checked-in baseline: fail only on NEW
 # findings; `- id` lines are resolved entries to prune from the baseline.
