@@ -28,6 +28,7 @@
 pub mod ablation;
 pub mod figures;
 pub mod hotpath;
+pub mod loadgen;
 pub mod scale;
 pub mod suite;
 pub mod table1;

@@ -43,6 +43,20 @@ pub const FRAME_MAX: usize = 64;
 pub enum TransportEvent {
     /// A tuple arriving at this node from its local stream source.
     Arrival(Tuple),
+    /// A tuple arriving from an open-loop load generator, stamped with
+    /// its injection time on the transport's clock. Processing is
+    /// identical to [`TransportEvent::Arrival`]; additionally, the delay
+    /// from injection to the end of the tuple's local processing (its
+    /// matches are in the digest by then) is recorded into the engine's
+    /// delivery-latency histogram. Closed-loop feeders never construct
+    /// this variant, so the steady-state arrival path pays nothing for it.
+    StampedArrival {
+        /// The tuple.
+        tuple: Tuple,
+        /// Injection time in microseconds on the cluster-epoch clock (the
+        /// same clock [`Transport::now_us`] reports for live backends).
+        injected_us: u64,
+    },
     /// A wire message from a peer.
     Net {
         /// Sending node.
@@ -139,6 +153,11 @@ pub struct NodeEngine {
     node: JoinNode,
     /// Outgoing-message buffer reused across arrivals.
     out: Vec<(u16, Msg)>,
+    /// Injection → end-of-processing delay of stamped arrivals
+    /// (microseconds). Only open-loop feeders send
+    /// [`TransportEvent::StampedArrival`], so closed-loop runs leave this
+    /// empty and record nothing.
+    latency: crate::obs::Histogram,
 }
 
 impl NodeEngine {
@@ -147,6 +166,7 @@ impl NodeEngine {
         NodeEngine {
             node,
             out: Vec::new(),
+            latency: crate::obs::Histogram::new(),
         }
     }
 
@@ -178,6 +198,14 @@ impl NodeEngine {
     /// The node's order-sensitive digest of counted matches.
     pub fn match_digest(&self) -> u64 {
         self.node.match_digest()
+    }
+
+    /// Per-tuple delivery latency recorded for stamped (open-loop)
+    /// arrivals: microseconds from the feeder's injection stamp to the end
+    /// of the tuple's local processing, at which point its matches are in
+    /// the digest. Empty for closed-loop runs.
+    pub fn delivery_latency(&self) -> &crate::obs::Histogram {
+        &self.latency
     }
 
     /// Handles one locally arriving tuple: the per-tuple hot path plus
@@ -256,6 +284,24 @@ impl NodeEngine {
                         }
                     };
                     self.arrival_at(tuple, now_us, transport)?;
+                    transport.quiesce();
+                }
+                TransportEvent::StampedArrival { tuple, injected_us } => {
+                    let now_us = match frame_now_us {
+                        Some(now_us) => now_us,
+                        None => {
+                            let now_us = transport.now_us();
+                            frame_now_us = Some(now_us);
+                            now_us
+                        }
+                    };
+                    self.arrival_at(tuple, now_us, transport)?;
+                    // Match-digest time: the tuple's matches are folded in,
+                    // so a fresh clock sample here is the delivery latency
+                    // an open-loop client would observe.
+                    let done_us = transport.now_us();
+                    // dsj-lint: allow(hot-path-opaque-call) — latency bookkeeping for open-loop load runs only; closed-loop feeders never send stamped arrivals, so the steady-state path never reaches this record
+                    self.latency.record(done_us.saturating_sub(injected_us));
                     transport.quiesce();
                 }
                 TransportEvent::Net { from, msg } => {

@@ -4,6 +4,7 @@ use crate::harness::{self, Pacing, Shared};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dsj_core::obs;
 use dsj_core::{ClusterConfig, Msg, NodeEngine, NodeMetrics, Transport, TransportEvent};
+use dsj_stream::gen::Arrival;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -143,6 +144,13 @@ pub struct LiveOutcome {
     /// any). Deliberately *not* part of equivalence fingerprints.
     #[serde(default)]
     pub transport_per_node: Vec<TransportStats>,
+    /// Injection → end-of-processing latency (µs) of stamped arrivals,
+    /// merged across nodes. Populated only by open-loop (load-generator)
+    /// runs; closed-loop feeders don't stamp arrivals, so this stays
+    /// empty — and, like transport counters, it is excluded from
+    /// equivalence fingerprints.
+    #[serde(default)]
+    pub delivery_latency_us: obs::Histogram,
     /// Real elapsed time from first arrival to quiescence.
     pub wall_time: Duration,
     /// Tuples processed per wall-clock second.
@@ -234,6 +242,35 @@ impl LiveCluster {
     ///
     /// As for [`LiveCluster::run`].
     pub fn run_paced(cfg: &ClusterConfig, pacing: Pacing) -> Result<LiveOutcome, LiveError> {
+        let (mut reg, arrivals, truth_matches, spawned) = Self::spawn(cfg)?;
+        harness::drive(cfg, pacing, &mut reg, &arrivals, truth_matches, spawned)
+    }
+
+    /// Runs the configuration's workload open-loop: arrivals are injected
+    /// on a virtual-time schedule at `spec`'s target rate regardless of
+    /// how fast the cluster drains them, and per-tuple delivery latency is
+    /// recorded into the outcome's histogram. The load-generator entry
+    /// point; see [`OpenLoop`](crate::OpenLoop).
+    ///
+    /// # Errors
+    ///
+    /// As for [`LiveCluster::run`].
+    pub fn run_open_loop(
+        cfg: &ClusterConfig,
+        spec: &harness::OpenLoop,
+    ) -> Result<harness::LoadRun, LiveError> {
+        let (mut reg, arrivals, truth_matches, spawned) = Self::spawn(cfg)?;
+        harness::drive_open(cfg, spec, &mut reg, &arrivals, truth_matches, spawned)
+    }
+
+    /// Validates `cfg`, generates its schedule and spawns the node
+    /// threads over channel transports — everything up to (but not
+    /// including) feeding, shared by the closed- and open-loop entry
+    /// points.
+    #[allow(clippy::type_complexity)]
+    fn spawn(
+        cfg: &ClusterConfig,
+    ) -> Result<(obs::Registry, Vec<Arrival>, u64, harness::Spawned), LiveError> {
         cfg.validate()?;
         let mut reg = obs::Registry::default();
         let n = cfg.n;
@@ -260,15 +297,12 @@ impl LiveCluster {
                 epoch: shared.epoch,
             };
             let engine = NodeEngine::new(cfg.build_node(me));
-            handles.push(harness::spawn_node(me, engine, transport, &shared));
+            handles.push(harness::spawn_node(engine, transport, &shared));
         }
         reg.phase_add("spawn", spawn_started.elapsed());
-
-        harness::drive(
-            cfg,
-            pacing,
-            &mut reg,
-            &arrivals,
+        Ok((
+            reg,
+            arrivals,
             truth_matches,
             harness::Spawned {
                 shared,
@@ -276,7 +310,7 @@ impl LiveCluster {
                 handles,
                 finish: None,
             },
-        )
+        ))
     }
 }
 

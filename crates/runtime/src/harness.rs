@@ -3,11 +3,27 @@
 //! Both live backends (threads-over-channels in [`crate::LiveCluster`],
 //! sockets in [`crate::TcpCluster`]) share everything except how bytes
 //! move: one OS thread per node running [`NodeEngine::run`] over its
-//! transport, a feeder injecting the arrival schedule with backpressure,
-//! an in-flight event counter for quiescence detection, and the final
-//! aggregation into a [`LiveOutcome`]. That shared half lives here; the
-//! backends only construct their transports and hand the pieces over to
-//! [`drive`].
+//! transport, a feeder injecting the arrival schedule, an in-flight event
+//! counter for quiescence detection, and the final aggregation into a
+//! [`LiveOutcome`]. That shared half lives here; the backends only
+//! construct their transports and hand the pieces over to the driver.
+//!
+//! # Driver / feeder split
+//!
+//! The run lifecycle — spawn → feed → quiesce → join → aggregate — is one
+//! backend-independent driver ([`drive_with`]) parameterized by a
+//! [`Feeder`], the policy for *when* each arrival is injected:
+//!
+//! * [`ClosedLoop`] waits for the cluster: [`Pacing::Freerun`] caps the
+//!   in-flight backlog, [`Pacing::Lockstep`] drains to zero between
+//!   arrivals (the deterministic, cross-backend-equivalent mode).
+//! * [`OpenLoopFeeder`] does not wait: arrivals are injected on a
+//!   virtual-time schedule at a target rate regardless of how fast the
+//!   cluster drains them — the load-generator mode. Each arrival carries
+//!   an injection timestamp, and the engines record injection →
+//!   end-of-processing delay into per-node latency histograms. A backlog
+//!   past the overload bound ends injection early and marks the run
+//!   overloaded instead of letting the schedule drift meaninglessly.
 //!
 //! # In-flight accounting
 //!
@@ -17,11 +33,7 @@
 //! visible; the engine's `quiesce` hook decrements *after* the event's
 //! processing — including any sends it triggered, which were counted
 //! first — so the counter can only read zero when the cluster is globally
-//! idle. The same counter provides feeder backpressure: [`Pacing::Freerun`]
-//! caps the backlog so probes can't go stale behind an unbounded queue,
-//! [`Pacing::Lockstep`] drains to zero between arrivals, making the event
-//! order — and therefore every router decision — identical across
-//! backends, including the deterministic simulation.
+//! idle.
 
 use crate::cluster::{LiveError, LiveOutcome, TransportStats};
 use crossbeam::channel::Sender;
@@ -32,9 +44,9 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// How the feeder paces arrivals into a live cluster.
+/// How the closed-loop feeder paces arrivals into a live cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Pacing {
     /// Inject as fast as backpressure allows (a bounded event backlog).
@@ -45,6 +57,71 @@ pub enum Pacing {
     /// under which every backend (simulated included) is provably
     /// equivalent.
     Lockstep,
+}
+
+/// An open-loop injection schedule: arrivals enter the cluster at a fixed
+/// aggregate rate on a virtual-time schedule, independent of how fast the
+/// cluster drains them. The load-generator counterpart of [`Pacing`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoop {
+    /// Target aggregate injection rate, tuples per second across the
+    /// whole cluster.
+    pub rate_tps: f64,
+    /// Backlog (in-flight events) at which the run is declared overloaded
+    /// and injection stops; `None` picks a bound scaled to the cluster
+    /// size. Without a bound, an offered rate above capacity would grow
+    /// the queues — and the measured latencies — without limit, telling
+    /// us nothing beyond "overloaded".
+    pub abort_backlog: Option<i64>,
+}
+
+impl OpenLoop {
+    /// An open-loop schedule at `rate_tps` with the default overload
+    /// bound.
+    pub fn new(rate_tps: f64) -> Self {
+        OpenLoop {
+            rate_tps,
+            abort_backlog: None,
+        }
+    }
+
+    /// The effective overload bound for a cluster of `n` nodes.
+    fn backlog_bound(&self, n: u16) -> i64 {
+        self.abort_backlog.unwrap_or(256 * i64::from(n).max(4))
+    }
+}
+
+/// What a feeder observed while injecting the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedReport {
+    /// Arrivals actually injected (all of them unless the feeder bailed
+    /// out on overload).
+    pub injected: usize,
+    /// Highest in-flight backlog observed at injection points.
+    pub peak_backlog: i64,
+    /// `true` when an open-loop feeder stopped early because the backlog
+    /// crossed its overload bound.
+    pub overloaded: bool,
+}
+
+/// What one open-loop (load-generator) run measured: the regular outcome
+/// plus the offered rate and the feeder's overload observations. Per-tuple
+/// delivery latency is in
+/// [`LiveOutcome::delivery_latency_us`](crate::LiveOutcome).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadRun {
+    /// The run outcome; `tuples_per_sec` is the *achieved* rate.
+    pub outcome: LiveOutcome,
+    /// The rate the feeder tried to inject at, tuples per second.
+    pub offered_tps: f64,
+    /// Arrivals injected before the run ended.
+    pub injected: usize,
+    /// Arrivals the schedule held in total.
+    pub total: usize,
+    /// Highest in-flight backlog observed at injection points.
+    pub peak_backlog: i64,
+    /// `true` when injection stopped early on overload.
+    pub overloaded: bool,
 }
 
 /// State shared between the feeder, the node threads and the reader
@@ -88,6 +165,43 @@ impl Shared {
     }
 }
 
+/// Bounded-backoff waiting for the feeder and quiescence loops: a short
+/// burst of `yield_now` spins (the common case — another runnable thread
+/// finishes the work within a scheduling quantum), then timed parks so a
+/// long drain costs wakeups, not a spinning core. Nothing unparks the
+/// waiter early: the park timeout *is* the poll interval, so no wake
+/// protocol (and no atomics-ordering obligation) exists to get wrong.
+struct Backoff {
+    spins: u32,
+}
+
+impl Backoff {
+    /// Yield-spins before the first timed park.
+    const SPIN_LIMIT: u32 = 64;
+    /// Park duration once spinning gives up; also bounds how stale a
+    /// failure check can get while waiting.
+    const PARK: Duration = Duration::from_micros(100);
+
+    fn new() -> Self {
+        Backoff { spins: 0 }
+    }
+
+    /// Waits one step: a yield while in the spin phase, a timed park after.
+    fn wait(&mut self) {
+        if self.spins < Self::SPIN_LIMIT {
+            self.spins += 1;
+            thread::yield_now();
+        } else {
+            thread::park_timeout(Self::PARK);
+        }
+    }
+
+    /// Back to the spin phase (progress was observed).
+    fn reset(&mut self) {
+        self.spins = 0;
+    }
+}
+
 /// Records one node's transport counters as observability gauges.
 fn record_transport(reg: &mut obs::Registry, me: u16, t: &TransportStats) {
     reg.gauge_set(
@@ -106,10 +220,9 @@ fn record_transport(reg: &mut obs::Registry, me: u16, t: &TransportStats) {
     );
 }
 
-/// Spawns node `me`'s thread: the engine's drive loop over `transport`,
-/// with failures reported through the shared state.
+/// Spawns a node thread: the engine's drive loop over `transport`, with
+/// failures reported through the shared state.
 pub(crate) fn spawn_node<T>(
-    me: u16,
     engine: NodeEngine,
     mut transport: T,
     shared: &Shared,
@@ -122,7 +235,6 @@ where
         let mut engine = engine;
         if let Err(e) = engine.run(&mut transport) {
             failures.lock().push(e);
-            let _ = me;
         }
         engine
     })
@@ -149,8 +261,184 @@ pub(crate) struct Spawned {
     pub finish: Option<FinishHook>,
 }
 
-/// Feeds the arrival schedule, waits for quiescence, shuts the node
-/// threads down and aggregates their engines into a [`LiveOutcome`].
+/// Injection policy: *when* each scheduled arrival enters the cluster.
+/// The driver owns everything around the feed (spawn, quiesce, join,
+/// aggregate); a feeder owns only the injection loop.
+pub(crate) trait Feeder {
+    /// Injects `arrivals` into the per-node queues.
+    ///
+    /// The contract the quiescence counter depends on: increment
+    /// `shared.in_flight` *before* a successful send, and give the
+    /// increment back if the send fails — a counted event that never
+    /// became visible would wedge the drain loop forever.
+    ///
+    /// # Errors
+    ///
+    /// A failure reported by the cluster while feeding, or the send
+    /// failure itself.
+    fn feed(
+        &mut self,
+        arrivals: &[Arrival],
+        senders: &[Sender<TransportEvent>],
+        shared: &Shared,
+    ) -> Result<FeedReport, LiveError>;
+}
+
+/// The closed-loop feeder: waits for the cluster before each injection,
+/// per [`Pacing`].
+pub(crate) struct ClosedLoop {
+    threshold: i64,
+}
+
+impl ClosedLoop {
+    /// Feeder for `pacing` over a cluster of `n` nodes.
+    ///
+    /// Freerun caps the events in flight so slow consumers don't
+    /// accumulate unbounded queues — unbounded backlog would let probe
+    /// messages arrive long after their window contents were evicted,
+    /// losing matches to staleness rather than to the algorithm. Lockstep
+    /// waits for zero: every arrival's full causal cone lands before the
+    /// next moves.
+    pub fn new(pacing: Pacing, n: u16) -> Self {
+        ClosedLoop {
+            threshold: match pacing {
+                Pacing::Freerun => 8 * i64::from(n),
+                Pacing::Lockstep => 1,
+            },
+        }
+    }
+}
+
+impl Feeder for ClosedLoop {
+    fn feed(
+        &mut self,
+        arrivals: &[Arrival],
+        senders: &[Sender<TransportEvent>],
+        shared: &Shared,
+    ) -> Result<FeedReport, LiveError> {
+        let mut backoff = Backoff::new();
+        let mut peak = 0i64;
+        for a in arrivals {
+            loop {
+                let backlog = shared.in_flight.load(Ordering::SeqCst);
+                if backlog < self.threshold {
+                    peak = peak.max(backlog);
+                    break;
+                }
+                if let Some(e) = shared.failure() {
+                    return Err(e);
+                }
+                backoff.wait();
+            }
+            backoff.reset();
+            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            if senders[a.node as usize]
+                .send(TransportEvent::Arrival(a.tuple()))
+                .is_err()
+            {
+                // The arrival never became visible — give its increment
+                // back, or a concurrent reader would wait on a count that
+                // can no longer drain.
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return Err(shared.failure().unwrap_or(LiveError::ChannelClosed));
+            }
+        }
+        Ok(FeedReport {
+            injected: arrivals.len(),
+            peak_backlog: peak,
+            overloaded: false,
+        })
+    }
+}
+
+/// The open-loop feeder: arrival `k` of the schedule is due at
+/// `k / rate` seconds after the feed starts, and is injected then whether
+/// or not the cluster has drained earlier ones — the defining property of
+/// open-loop load generation (a closed loop can never observe
+/// saturation: it slows its offered load to whatever the system sustains).
+///
+/// Each injection is stamped with the cluster-epoch clock — the same
+/// clock every live transport reports from `now_us` — so the engines can
+/// record injection → end-of-processing delivery latency. If the backlog
+/// crosses the overload bound, injection stops and the run is reported
+/// overloaded.
+pub(crate) struct OpenLoopFeeder {
+    interarrival_ns: f64,
+    abort_backlog: i64,
+}
+
+impl OpenLoopFeeder {
+    /// Feeder for `spec` over a cluster of `n` nodes.
+    pub fn new(spec: &OpenLoop, n: u16) -> Self {
+        OpenLoopFeeder {
+            interarrival_ns: 1e9 / spec.rate_tps.max(1e-6),
+            abort_backlog: spec.backlog_bound(n),
+        }
+    }
+}
+
+impl Feeder for OpenLoopFeeder {
+    fn feed(
+        &mut self,
+        arrivals: &[Arrival],
+        senders: &[Sender<TransportEvent>],
+        shared: &Shared,
+    ) -> Result<FeedReport, LiveError> {
+        let start = Instant::now();
+        let mut peak = 0i64;
+        for (k, a) in arrivals.iter().enumerate() {
+            // Virtual-time schedule: wait out the gap to this arrival's
+            // due time. Parks are capped so failure checks stay fresh
+            // even at very low rates.
+            let due_ns = (k as f64 * self.interarrival_ns) as u64;
+            loop {
+                let elapsed_ns = start.elapsed().as_nanos() as u64;
+                if elapsed_ns >= due_ns {
+                    break;
+                }
+                if let Some(e) = shared.failure() {
+                    return Err(e);
+                }
+                let gap = Duration::from_nanos(due_ns - elapsed_ns);
+                thread::park_timeout(gap.min(Duration::from_millis(1)));
+            }
+            let backlog = shared.in_flight.load(Ordering::SeqCst);
+            peak = peak.max(backlog);
+            if backlog >= self.abort_backlog {
+                // Overload: the cluster is provably not keeping up with
+                // the offered rate. Stop injecting — latencies past this
+                // point would only measure the queue we chose to build.
+                return Ok(FeedReport {
+                    injected: k,
+                    peak_backlog: peak,
+                    overloaded: true,
+                });
+            }
+            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            let injected_us = shared.epoch.elapsed().as_micros() as u64;
+            if senders[a.node as usize]
+                .send(TransportEvent::StampedArrival {
+                    tuple: a.tuple(),
+                    injected_us,
+                })
+                .is_err()
+            {
+                // Same giveback contract as the closed loop.
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return Err(shared.failure().unwrap_or(LiveError::ChannelClosed));
+            }
+        }
+        Ok(FeedReport {
+            injected: arrivals.len(),
+            peak_backlog: peak,
+            overloaded: false,
+        })
+    }
+}
+
+/// Feeds the arrival schedule with the closed-loop feeder, waits for
+/// quiescence, shuts the node threads down and aggregates their engines
+/// into a [`LiveOutcome`].
 pub(crate) fn drive(
     cfg: &ClusterConfig,
     pacing: Pacing,
@@ -159,6 +447,44 @@ pub(crate) fn drive(
     truth_matches: u64,
     cluster: Spawned,
 ) -> Result<LiveOutcome, LiveError> {
+    let mut feeder = ClosedLoop::new(pacing, cfg.n);
+    drive_with(&mut feeder, reg, arrivals, truth_matches, cluster).map(|(outcome, _)| outcome)
+}
+
+/// Feeds the arrival schedule open-loop at the spec's target rate and
+/// reports the run as a [`LoadRun`] (outcome + offered rate + overload
+/// observations).
+pub(crate) fn drive_open(
+    cfg: &ClusterConfig,
+    spec: &OpenLoop,
+    reg: &mut obs::Registry,
+    arrivals: &[Arrival],
+    truth_matches: u64,
+    cluster: Spawned,
+) -> Result<LoadRun, LiveError> {
+    let mut feeder = OpenLoopFeeder::new(spec, cfg.n);
+    let (outcome, report) = drive_with(&mut feeder, reg, arrivals, truth_matches, cluster)?;
+    Ok(LoadRun {
+        outcome,
+        offered_tps: spec.rate_tps,
+        injected: report.injected,
+        total: arrivals.len(),
+        peak_backlog: report.peak_backlog,
+        overloaded: report.overloaded,
+    })
+}
+
+/// The backend-independent driver: feed (via `feeder`) → quiesce → join →
+/// aggregate. Every failure path runs the backend's finish hook, and
+/// failures surfaced by any thread — including node panics — are settled
+/// together into one aggregated error.
+pub(crate) fn drive_with<F: Feeder>(
+    feeder: &mut F,
+    reg: &mut obs::Registry,
+    arrivals: &[Arrival],
+    truth_matches: u64,
+    cluster: Spawned,
+) -> Result<(LiveOutcome, FeedReport), LiveError> {
     let Spawned {
         shared,
         senders,
@@ -168,53 +494,40 @@ pub(crate) fn drive(
     // On every exit path the backend's finish hook must run — it tears
     // down transport machinery (reactor shards) that would otherwise
     // outlive the run.
-    fn abort(finish: Option<FinishHook>, e: LiveError) -> Result<LiveOutcome, LiveError> {
+    fn abort(
+        finish: Option<FinishHook>,
+        e: LiveError,
+    ) -> Result<(LiveOutcome, FeedReport), LiveError> {
         if let Some(f) = finish {
             let _ = f();
         }
         Err(e)
     }
     // Feed arrivals in global order (per-channel FIFO keeps each node's
-    // sequence numbers ascending, as the windows require). Freerun caps
-    // the events in flight so slow consumers don't accumulate unbounded
-    // queues — unbounded backlog would let probe messages arrive long
-    // after their window contents were evicted, losing matches to
-    // staleness rather than to the algorithm. Lockstep waits for zero:
-    // every arrival's full causal cone lands before the next moves.
-    let threshold = match pacing {
-        Pacing::Freerun => 8 * i64::from(cfg.n),
-        Pacing::Lockstep => 1,
-    };
+    // sequence numbers ascending, as the windows require).
     let start = Instant::now();
-    for a in arrivals {
-        while shared.in_flight.load(Ordering::SeqCst) >= threshold {
-            if let Some(e) = shared.failure() {
-                return abort(finish, e);
-            }
-            thread::yield_now();
-        }
-        shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        if senders[a.node as usize]
-            .send(TransportEvent::Arrival(a.tuple()))
-            .is_err()
-        {
-            // The arrival never became visible — give its increment back,
-            // or a concurrent reader would wait on a count that can no
-            // longer drain.
-            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-            let e = shared.failure().unwrap_or(LiveError::ChannelClosed);
-            return abort(finish, e);
-        }
-    }
+    let report = match feeder.feed(arrivals, &senders, &shared) {
+        Ok(report) => report,
+        Err(e) => return abort(finish, e),
+    };
     reg.phase_add("inject", start.elapsed());
 
     // Quiesce: wait until no events remain anywhere in the cluster.
     let drain_started = Instant::now();
-    while shared.in_flight.load(Ordering::SeqCst) > 0 {
+    let mut backoff = Backoff::new();
+    let mut last = i64::MAX;
+    while {
+        let now = shared.in_flight.load(Ordering::SeqCst);
+        if now < last {
+            backoff.reset();
+        }
+        last = now;
+        now > 0
+    } {
         if let Some(e) = shared.failure() {
             return abort(finish, e);
         }
-        thread::yield_now();
+        backoff.wait();
     }
     let wall_time = start.elapsed();
     reg.phase_add("drain", drain_started.elapsed());
@@ -224,26 +537,34 @@ pub(crate) fn drive(
 
     let join_started = Instant::now();
     let mut engines = Vec::with_capacity(handles.len());
-    let mut panicked = None;
+    let mut panicked: Vec<u16> = Vec::new();
     for (id, h) in handles.into_iter().enumerate() {
         match h.join() {
             Ok(engine) => engines.push(engine),
-            Err(_) => panicked = panicked.or(Some(id as u16)),
+            Err(_) => panicked.push(id as u16),
         }
     }
     // Node threads are done; stop the backend's transport machinery and
     // collect its per-node counters — and only then settle failures, so
-    // anything the teardown surfaced is included.
+    // anything the teardown surfaced is included. Panics are settled
+    // *through* the shared failure list, not short-circuited: a node
+    // panic caused by a transport fault must surface both (the fault is
+    // the root cause, the panic its symptom).
     let transport_per_node = finish.map_or_else(Vec::new, |f| f());
-    if let Some(id) = panicked {
-        return Err(LiveError::NodePanicked(id));
+    if !panicked.is_empty() {
+        let mut failures = shared.failures.lock();
+        for id in panicked {
+            failures.push(LiveError::NodePanicked(id));
+        }
     }
     if let Some(e) = shared.failure() {
         return Err(e);
     }
     let mut totals = NodeMetrics::default();
+    let mut delivery_latency_us = obs::Histogram::new();
     for engine in &engines {
         totals.absorb(engine.metrics());
+        delivery_latency_us.merge(engine.delivery_latency());
     }
     reg.phase_add("join", join_started.elapsed());
     let reported_matches = totals.matches();
@@ -262,18 +583,22 @@ pub(crate) fn drive(
         per_node: engines.iter().map(|e| *e.metrics()).collect(),
         match_digests: engines.iter().map(NodeEngine::match_digest).collect(),
         transport_per_node,
+        delivery_latency_us,
         wall_time,
-        tuples_per_sec: arrivals.len() as f64 / secs,
+        tuples_per_sec: report.injected as f64 / secs,
     };
     if obs::enabled() {
         reg.counter_add("runs", 1);
         reg.counter_add("truth_matches", outcome.truth_matches);
         reg.counter_add("reported_matches", outcome.reported_matches);
         reg.counter_add("live.messages", outcome.messages);
-        reg.counter_add("tuples", arrivals.len() as u64);
+        reg.counter_add("tuples", report.injected as u64);
         reg.gauge_set("epsilon", outcome.epsilon);
         reg.gauge_set("wall_time_secs", outcome.wall_time.as_secs_f64());
         reg.gauge_set("tuples_per_sec", outcome.tuples_per_sec);
+        if outcome.delivery_latency_us.count() > 0 {
+            reg.histogram_merge("delivery_latency_us", &outcome.delivery_latency_us);
+        }
         for (me, engine) in engines.iter().enumerate() {
             engine.metrics().record_into(reg, me as u16);
         }
@@ -282,12 +607,15 @@ pub(crate) fn drive(
         }
         obs::emit(std::mem::take(reg));
     }
-    Ok(outcome)
+    Ok((outcome, report))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossbeam::channel::unbounded;
+    use dsj_core::Algorithm;
+    use std::sync::atomic::AtomicU32;
 
     #[test]
     fn no_failures_reports_none() {
@@ -366,5 +694,205 @@ mod tests {
             "2 transport failures: node thread 1 panicked; \
              inter-node channel closed unexpectedly"
         );
+    }
+
+    // --- Driver error-path harness -------------------------------------
+
+    fn test_cfg(n: u16) -> ClusterConfig {
+        ClusterConfig::new(n, Algorithm::Base)
+            .window(16)
+            .domain(64)
+            .tuples(12)
+            .seed(11)
+    }
+
+    /// A finish hook that counts its invocations.
+    fn counting_hook(counter: &Arc<AtomicU32>) -> FinishHook {
+        let counter = Arc::clone(counter);
+        Box::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Vec::new()
+        })
+    }
+
+    /// Node threads that park on their queues like real engines would —
+    /// here they just return their engine on the first event.
+    fn idle_handles(cfg: &ClusterConfig) -> Vec<JoinHandle<NodeEngine>> {
+        (0..cfg.n)
+            .map(|me| {
+                let engine = NodeEngine::new(cfg.build_node(me));
+                thread::spawn(move || engine)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn send_failure_gives_its_increment_back_and_runs_finish() {
+        let cfg = test_cfg(3);
+        let arrivals = cfg.arrivals();
+        let shared = Shared::new();
+        let in_flight = Arc::clone(&shared.in_flight);
+        // Senders whose receivers are already gone: the first send fails.
+        let senders: Vec<Sender<TransportEvent>> = (0..cfg.n)
+            .map(|_| {
+                let (tx, rx) = unbounded();
+                drop(rx);
+                tx
+            })
+            .collect();
+        let finished = Arc::new(AtomicU32::new(0));
+        let spawned = Spawned {
+            shared,
+            senders,
+            handles: idle_handles(&cfg),
+            finish: Some(counting_hook(&finished)),
+        };
+        let mut reg = obs::Registry::default();
+        let err = drive(&cfg, Pacing::Freerun, &mut reg, &arrivals, 0, spawned).unwrap_err();
+        assert_eq!(err, LiveError::ChannelClosed);
+        // The failed send's increment was given back — nothing leaks.
+        assert_eq!(in_flight.load(Ordering::SeqCst), 0);
+        // The backend teardown ran exactly once on the abort path.
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn quiesce_failure_aborts_through_finish_hook() {
+        let cfg = test_cfg(3);
+        let shared = Shared::new();
+        // A wedged cluster: one phantom in-flight event that never drains,
+        // and a failure reported by a reader thread.
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        shared.failures.lock().push(LiveError::Io {
+            node: 2,
+            detail: "connection reset".to_string(),
+        });
+        let senders: Vec<Sender<TransportEvent>> = (0..cfg.n).map(|_| unbounded().0).collect();
+        let finished = Arc::new(AtomicU32::new(0));
+        let spawned = Spawned {
+            shared,
+            senders,
+            handles: idle_handles(&cfg),
+            finish: Some(counting_hook(&finished)),
+        };
+        let mut reg = obs::Registry::default();
+        // Empty schedule: the feed is a no-op, the quiesce loop sees the
+        // failure.
+        let err = drive(&cfg, Pacing::Freerun, &mut reg, &[], 0, spawned).unwrap_err();
+        assert!(matches!(err, LiveError::Io { node: 2, .. }), "{err:?}");
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn node_panic_aggregates_with_transport_faults() {
+        let cfg = test_cfg(3);
+        let shared = Shared::new();
+        // A transport fault was recorded mid-run...
+        shared.failures.lock().push(LiveError::Io {
+            node: 1,
+            detail: "broken pipe".to_string(),
+        });
+        // ...and it took node 1's thread down with it.
+        let handles: Vec<JoinHandle<NodeEngine>> = (0..cfg.n)
+            .map(|me| {
+                let engine = NodeEngine::new(cfg.build_node(me));
+                thread::spawn(move || -> NodeEngine {
+                    if me == 1 {
+                        panic!("induced node failure");
+                    }
+                    engine
+                })
+            })
+            .collect();
+        let senders: Vec<Sender<TransportEvent>> = (0..cfg.n).map(|_| unbounded().0).collect();
+        let finished = Arc::new(AtomicU32::new(0));
+        let spawned = Spawned {
+            shared,
+            senders,
+            handles,
+            finish: Some(counting_hook(&finished)),
+        };
+        let mut reg = obs::Registry::default();
+        let err = drive(&cfg, Pacing::Freerun, &mut reg, &[], 0, spawned).unwrap_err();
+        // Both the root cause and the panic surface, fault first.
+        match err {
+            LiveError::Faults(all) => {
+                assert_eq!(all.len(), 2);
+                assert!(matches!(all[0], LiveError::Io { node: 1, .. }));
+                assert_eq!(all[1], LiveError::NodePanicked(1));
+            }
+            other => panic!("expected aggregated faults, got {other:?}"),
+        }
+        // The teardown ran before failures were settled.
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn open_loop_feeder_preserves_per_node_sequence_order() {
+        let cfg = test_cfg(3).tuples(300);
+        let arrivals = cfg.arrivals();
+        let shared = Shared::new();
+        let mut channels: Vec<_> = (0..cfg.n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<TransportEvent>> =
+            channels.iter().map(|(tx, _)| tx.clone()).collect();
+        // Nothing drains in this test, so the backlog equals everything
+        // injected; lift the overload bound out of the way.
+        let spec = OpenLoop {
+            rate_tps: 5_000_000.0,
+            abort_backlog: Some(i64::MAX),
+        };
+        let report = OpenLoopFeeder::new(&spec, cfg.n)
+            .feed(&arrivals, &senders, &shared)
+            .unwrap();
+        assert_eq!(report.injected, arrivals.len());
+        assert!(!report.overloaded);
+        // Every queue sees its node's arrivals with strictly ascending
+        // sequence numbers and nondecreasing injection stamps.
+        for (node, (_, rx)) in channels.iter_mut().enumerate() {
+            let mut last_seq = None;
+            let mut last_stamp = 0u64;
+            while let Some(event) = rx.try_recv() {
+                match event {
+                    TransportEvent::StampedArrival { tuple, injected_us } => {
+                        assert_eq!(usize::from(tuple.origin), node);
+                        if let Some(prev) = last_seq {
+                            assert!(tuple.seq > prev, "seq order broken at node {node}");
+                        }
+                        last_seq = Some(tuple.seq);
+                        assert!(injected_us >= last_stamp);
+                        last_stamp = injected_us;
+                    }
+                    other => panic!("open-loop feeder sent {other:?}"),
+                }
+            }
+            assert!(last_seq.is_some(), "node {node} saw no arrivals");
+        }
+        // Feeder increments stayed balanced with what landed in queues.
+        assert_eq!(
+            shared.in_flight.load(Ordering::SeqCst),
+            arrivals.len() as i64
+        );
+    }
+
+    #[test]
+    fn open_loop_feeder_declares_overload_at_the_backlog_bound() {
+        let cfg = test_cfg(3).tuples(100);
+        let arrivals = cfg.arrivals();
+        let shared = Shared::new();
+        let channels: Vec<_> = (0..cfg.n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<TransportEvent>> =
+            channels.iter().map(|(tx, _)| tx.clone()).collect();
+        // Nothing drains, so the backlog hits the bound after exactly
+        // `bound` injections.
+        let spec = OpenLoop {
+            rate_tps: 5_000_000.0,
+            abort_backlog: Some(25),
+        };
+        let report = OpenLoopFeeder::new(&spec, cfg.n)
+            .feed(&arrivals, &senders, &shared)
+            .unwrap();
+        assert!(report.overloaded);
+        assert_eq!(report.injected, 25);
+        assert_eq!(report.peak_backlog, 25);
     }
 }

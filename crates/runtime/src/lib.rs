@@ -45,5 +45,5 @@ mod reactor;
 mod tcp;
 
 pub use cluster::{LiveCluster, LiveError, LiveOutcome, TransportStats};
-pub use harness::Pacing;
+pub use harness::{FeedReport, LoadRun, OpenLoop, Pacing};
 pub use tcp::{TcpCluster, TcpMode};

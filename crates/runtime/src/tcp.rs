@@ -427,6 +427,45 @@ impl TcpCluster {
         pacing: Pacing,
         mode: TcpMode,
     ) -> Result<LiveOutcome, LiveError> {
+        let (mut reg, arrivals, truth_matches, spawned) = Self::spawn(cfg, mode)?;
+        harness::drive(cfg, pacing, &mut reg, &arrivals, truth_matches, spawned)
+    }
+
+    /// Runs the configuration's workload open-loop over the selected
+    /// socket topology: arrivals are injected on a virtual-time schedule
+    /// at `spec`'s target rate regardless of how fast the cluster drains
+    /// them, and per-tuple delivery latency is recorded into the
+    /// outcome's histogram. The load-generator entry point; see
+    /// [`OpenLoop`](crate::OpenLoop).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpCluster::run`].
+    pub fn run_open_loop_mode(
+        cfg: &ClusterConfig,
+        spec: &harness::OpenLoop,
+        mode: TcpMode,
+    ) -> Result<harness::LoadRun, LiveError> {
+        let (mut reg, arrivals, truth_matches, spawned) = Self::spawn(cfg, mode)?;
+        harness::drive_open(cfg, spec, &mut reg, &arrivals, truth_matches, spawned)
+    }
+
+    /// Validates `cfg`, generates its schedule, binds the socket topology
+    /// and spawns node threads — everything up to (but not including)
+    /// feeding, shared by the closed- and open-loop entry points.
+    #[allow(clippy::type_complexity)]
+    fn spawn(
+        cfg: &ClusterConfig,
+        mode: TcpMode,
+    ) -> Result<
+        (
+            obs::Registry,
+            Vec<dsj_stream::gen::Arrival>,
+            u64,
+            harness::Spawned,
+        ),
+        LiveError,
+    > {
         cfg.validate()?;
         let mut reg = obs::Registry::default();
         let n = cfg.n as usize;
@@ -460,8 +499,7 @@ impl TcpCluster {
             TcpMode::Reactor => spawn_reactor(cfg, shared, senders, &receivers, listeners, &addrs)?,
         };
         reg.phase_add("spawn", spawn_started.elapsed());
-
-        harness::drive(cfg, pacing, &mut reg, &arrivals, truth_matches, spawned)
+        Ok((reg, arrivals, truth_matches, spawned))
     }
 }
 
@@ -524,7 +562,7 @@ fn spawn_mesh(
             wpending: vec![0; n],
         };
         let engine = NodeEngine::new(cfg.build_node(me as u16));
-        handles.push(harness::spawn_node(me as u16, engine, transport, &shared));
+        handles.push(harness::spawn_node(engine, transport, &shared));
     }
     Ok(harness::Spawned {
         shared,
@@ -668,7 +706,7 @@ fn spawn_reactor(
             epoch: shared.epoch,
         };
         let engine = NodeEngine::new(cfg.build_node(me as u16));
-        handles.push(harness::spawn_node(me as u16, engine, transport, &shared));
+        handles.push(harness::spawn_node(engine, transport, &shared));
     }
 
     // Teardown hook: stop the shards once the node threads are done, and

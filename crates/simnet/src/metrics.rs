@@ -166,6 +166,47 @@ impl Log2Histogram {
         }
     }
 
+    /// The value at quantile `q` (clamped to `[0, 1]`), estimated by
+    /// within-bucket linear interpolation, or 0 when the histogram is
+    /// empty.
+    ///
+    /// The rank of quantile `q` over `count` samples is
+    /// `ceil(q * count)` (at least 1), walked across the buckets in
+    /// ascending order. Inside the bucket holding that rank, the sample
+    /// values are assumed uniformly spread over the bucket's range; the
+    /// interpolated estimate is additionally clamped to the observed
+    /// `[min, max]`, so single-valued histograms report that value
+    /// exactly at every quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            // The top rank is the largest observed sample — exact, not
+            // interpolated.
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Rank lands in bucket i: interpolate within its range.
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = Self::bucket_upper_bound(i);
+                let into = (rank - seen - 1) as f64; // 0-based position in bucket
+                let frac = if c == 1 { 0.0 } else { into / (c - 1) as f64 };
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est as u64).clamp(self.min(), self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
     /// Adds another histogram's samples into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -306,6 +347,68 @@ mod tests {
         assert_eq!(Log2Histogram::bucket_upper_bound(1), 1);
         assert_eq!(Log2Histogram::bucket_upper_bound(8), 255);
         assert_eq!(Log2Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Log2Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_of_single_value_is_exact_everywhere() {
+        let mut h = Log2Histogram::new();
+        h.record(1000);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 1000, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_walks_bucket_boundaries() {
+        // 1..=8 spans buckets [1,1], [2,3], [4,7], [8,15]: the median rank
+        // (ceil(0.5·8) = 4) lands on the first sample of the [4,7] bucket.
+        let mut h = Log2Histogram::new();
+        for v in 1..=8u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1); // rank clamps to 1
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(1.0), 8); // clamped to observed max
+                                        // Tail quantiles saturate at the last occupied bucket's estimate,
+                                        // clamped to the observed max.
+        assert_eq!(h.quantile(0.999), 8);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // Three samples in the [64, 127] bucket: uniform-spread assumption
+        // places ranks 1..3 at 64, 95 (midpoint, truncated) and 127 — but
+        // the top estimate clamps to the observed max of 100.
+        let mut h = Log2Histogram::new();
+        for v in [64u64, 80, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.33), 64);
+        assert_eq!(h.quantile(0.5), 95);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 3, 9, 27, 81, 243, 729, 2187, 6561] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for i in 0..=100 {
+            let v = h.quantile(i as f64 / 100.0);
+            assert!(v >= last, "quantile not monotone at q={}", i as f64 / 100.0);
+            last = v;
+        }
+        assert_eq!(h.quantile(1.0), 6561);
     }
 
     #[test]

@@ -15,11 +15,13 @@
 
 mod financial;
 mod network;
+mod scenario;
 mod uniform;
 mod zipf;
 
 pub use financial::{price_series, FinancialSource};
 pub use network::NetworkSource;
+pub use scenario::Scenario;
 pub use uniform::UniformSource;
 pub use zipf::ZipfSource;
 

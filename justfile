@@ -94,6 +94,18 @@ bench-quick:
     cargo build --release -p dsj-bench --bin dsj-bench
     ./target/release/dsj-bench --quick --out BENCH_ci.json --gate-dftt
 
+# Open-loop capacity search: max sustainable arrival rate + delivery
+# latency percentiles for every scenario × strategy × backend × N cell;
+# records the matrix in LOAD_pr10.json (minutes).
+load:
+    cargo build --release -p dsj-bench --bin dsj-loadgen
+    ./target/release/dsj-loadgen --out LOAD_pr10.json
+
+# CI-sized capacity probe — 4 cells, small schedules, same row schema.
+load-smoke:
+    cargo build --release -p dsj-bench --bin dsj-loadgen
+    ./target/release/dsj-loadgen --quick --out LOAD_ci.json
+
 # Regenerate the recorded full-scale reproduction outputs.
 repro-record:
     cargo build --release -p dsj-bench --bin repro
